@@ -1,0 +1,41 @@
+// Command nocexplore runs the GPU NoC design-space exploration of the paper's
+// Section 3 (Figure 7): full, concentrated and hierarchical crossbars grouped
+// by bisection bandwidth, compared in performance, active silicon area and
+// power.
+//
+//	nocexplore
+//	nocexplore -cycles 40000 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		cyclesFlag = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
+		quickFlag  = flag.Bool("quick", false, "use the reduced quick-run scale")
+		seedFlag   = flag.Int64("seed", 1, "workload generator seed")
+	)
+	flag.Parse()
+
+	opt := exp.DefaultOptions()
+	if *quickFlag {
+		opt = exp.QuickOptions()
+	}
+	if *cyclesFlag > 0 {
+		opt.MeasureCycles = *cyclesFlag
+	}
+	opt.Seed = *seedFlag
+
+	res, err := exp.Figure7(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocexplore: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Format())
+}

@@ -1,0 +1,89 @@
+// Command paperfigs regenerates the tables and figures of the paper's
+// evaluation section on the simulated GPU and prints them as text tables.
+//
+// Examples:
+//
+//	paperfigs -figure all
+//	paperfigs -figure 11
+//	paperfigs -figure 7 -cycles 40000
+//	paperfigs -figure tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		figureFlag = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
+		cyclesFlag = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
+		warmupFlag = flag.Uint64("warmup", 0, "override warm-up cycles per run (0 = default)")
+		seedFlag   = flag.Int64("seed", 1, "workload generator seed")
+		quickFlag  = flag.Bool("quick", false, "use the reduced quick-run scale")
+	)
+	flag.Parse()
+
+	opt := exp.DefaultOptions()
+	if *quickFlag {
+		opt = exp.QuickOptions()
+	}
+	if *cyclesFlag > 0 {
+		opt.MeasureCycles = *cyclesFlag
+	}
+	if *warmupFlag > 0 {
+		opt.WarmupCycles = *warmupFlag
+	}
+	opt.Seed = *seedFlag
+
+	type job struct {
+		name string
+		run  func() (string, error)
+	}
+	jobs := map[string]job{
+		"tables": {"Tables 1 and 2", func() (string, error) { return exp.Table1() + "\n" + exp.Table2(), nil }},
+		"2":      {"Figure 2", func() (string, error) { r, err := exp.Figure2(opt); return format(r, err) }},
+		"3":      {"Figure 3", func() (string, error) { r, err := exp.Figure3(opt); return format(r, err) }},
+		"7":      {"Figure 7", func() (string, error) { r, err := exp.Figure7(opt); return format(r, err) }},
+		"11":     {"Figure 11", func() (string, error) { r, err := exp.Figure11(opt); return format(r, err) }},
+		"12":     {"Figure 12", func() (string, error) { r, err := exp.Figure12(opt); return format(r, err) }},
+		"13":     {"Figure 13", func() (string, error) { r, err := exp.Figure13(opt); return format(r, err) }},
+		"14":     {"Figure 14", func() (string, error) { r, err := exp.Figure14(opt); return format(r, err) }},
+		"15":     {"Figure 15", func() (string, error) { r, err := exp.Figure15(opt); return format(r, err) }},
+		"16":     {"Figure 16", func() (string, error) { r, err := exp.Figure16(opt); return format(r, err) }},
+	}
+	order := []string{"tables", "2", "3", "7", "11", "12", "13", "14", "15", "16"}
+
+	selected := []string{*figureFlag}
+	if *figureFlag == "all" {
+		selected = order
+	}
+	for _, key := range selected {
+		j, ok := jobs[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", key)
+			os.Exit(1)
+		}
+		start := time.Now()
+		out, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(start).Seconds())
+	}
+}
+
+type formatter interface{ Format() string }
+
+func format(r formatter, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Format(), nil
+}

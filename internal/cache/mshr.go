@@ -1,0 +1,105 @@
+package cache
+
+// MSHRTable models a set of miss-status holding registers. Multiple misses
+// to the same cache line merge into one outstanding entry; the table is
+// full when the number of distinct outstanding lines reaches its capacity,
+// at which point the cache must stall new misses.
+type MSHRTable struct {
+	capacity      int
+	maxMergedPer  int
+	entries       map[uint64][]uint64 // line address -> merged request IDs
+	peakOccupancy int
+	allocations   uint64
+	merges        uint64
+	fullStalls    uint64
+}
+
+// NewMSHRTable creates a table with the given number of entries. Each entry
+// can merge up to maxMergedPer requests (0 means unlimited merging).
+func NewMSHRTable(capacity, maxMergedPer int) *MSHRTable {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHRTable{
+		capacity:     capacity,
+		maxMergedPer: maxMergedPer,
+		entries:      make(map[uint64][]uint64, capacity),
+	}
+}
+
+// CanAccept reports whether a miss on lineAddr can be accepted right now,
+// either by merging into an existing entry or by allocating a new one.
+func (m *MSHRTable) CanAccept(lineAddr uint64) bool {
+	if reqs, ok := m.entries[lineAddr]; ok {
+		return m.maxMergedPer == 0 || len(reqs) < m.maxMergedPer
+	}
+	return len(m.entries) < m.capacity
+}
+
+// Allocate records a miss for reqID on lineAddr. It returns primary=true if
+// this is the first outstanding miss for the line (and therefore a request
+// must be sent to the next level), or primary=false if it merged into an
+// existing entry. ok=false means the table is full and the miss must stall.
+func (m *MSHRTable) Allocate(lineAddr uint64, reqID uint64) (primary, ok bool) {
+	if reqs, exists := m.entries[lineAddr]; exists {
+		if m.maxMergedPer != 0 && len(reqs) >= m.maxMergedPer {
+			m.fullStalls++
+			return false, false
+		}
+		m.entries[lineAddr] = append(reqs, reqID)
+		m.merges++
+		return false, true
+	}
+	if len(m.entries) >= m.capacity {
+		m.fullStalls++
+		return false, false
+	}
+	m.entries[lineAddr] = []uint64{reqID}
+	m.allocations++
+	if len(m.entries) > m.peakOccupancy {
+		m.peakOccupancy = len(m.entries)
+	}
+	return true, true
+}
+
+// Complete removes the entry for lineAddr and returns the merged request IDs
+// waiting on it (in arrival order). It returns nil if no entry exists.
+func (m *MSHRTable) Complete(lineAddr uint64) []uint64 {
+	reqs, ok := m.entries[lineAddr]
+	if !ok {
+		return nil
+	}
+	delete(m.entries, lineAddr)
+	return reqs
+}
+
+// Outstanding reports whether lineAddr has an outstanding miss.
+func (m *MSHRTable) Outstanding(lineAddr uint64) bool {
+	_, ok := m.entries[lineAddr]
+	return ok
+}
+
+// Occupancy returns the number of distinct outstanding lines.
+func (m *MSHRTable) Occupancy() int { return len(m.entries) }
+
+// Capacity returns the number of entries the table can hold.
+func (m *MSHRTable) Capacity() int { return m.capacity }
+
+// PeakOccupancy returns the maximum occupancy observed.
+func (m *MSHRTable) PeakOccupancy() int { return m.peakOccupancy }
+
+// Allocations returns the number of primary-miss allocations.
+func (m *MSHRTable) Allocations() uint64 { return m.allocations }
+
+// Merges returns the number of secondary misses merged into existing entries.
+func (m *MSHRTable) Merges() uint64 { return m.merges }
+
+// FullStalls returns how many allocation attempts were rejected.
+func (m *MSHRTable) FullStalls() uint64 { return m.fullStalls }
+
+// Reset clears all entries and statistics.
+func (m *MSHRTable) Reset() {
+	m.entries = make(map[uint64][]uint64, m.capacity)
+	m.peakOccupancy = 0
+	m.allocations, m.merges, m.fullStalls = 0, 0, 0
+}

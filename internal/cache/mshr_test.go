@@ -1,0 +1,96 @@
+package cache
+
+import "testing"
+
+func TestMSHRBasicAllocateComplete(t *testing.T) {
+	m := NewMSHRTable(4, 0)
+	primary, ok := m.Allocate(0x100, 1)
+	if !primary || !ok {
+		t.Fatalf("first allocation: primary=%v ok=%v, want true,true", primary, ok)
+	}
+	primary, ok = m.Allocate(0x100, 2)
+	if primary || !ok {
+		t.Fatalf("merge: primary=%v ok=%v, want false,true", primary, ok)
+	}
+	if m.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1", m.Occupancy())
+	}
+	if !m.Outstanding(0x100) || m.Outstanding(0x200) {
+		t.Error("Outstanding mismatch")
+	}
+	reqs := m.Complete(0x100)
+	if len(reqs) != 2 || reqs[0] != 1 || reqs[1] != 2 {
+		t.Errorf("Complete returned %v, want [1 2]", reqs)
+	}
+	if m.Complete(0x100) != nil {
+		t.Error("double complete should return nil")
+	}
+	if m.Allocations() != 1 || m.Merges() != 1 {
+		t.Errorf("allocations=%d merges=%d, want 1,1", m.Allocations(), m.Merges())
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHRTable(2, 0)
+	m.Allocate(0x100, 1)
+	m.Allocate(0x200, 2)
+	if m.CanAccept(0x300) {
+		t.Error("table should be full for new lines")
+	}
+	if !m.CanAccept(0x100) {
+		t.Error("merging into existing entry should still be possible")
+	}
+	_, ok := m.Allocate(0x300, 3)
+	if ok {
+		t.Error("allocation beyond capacity should fail")
+	}
+	if m.FullStalls() != 1 {
+		t.Errorf("FullStalls = %d, want 1", m.FullStalls())
+	}
+	m.Complete(0x100)
+	if !m.CanAccept(0x300) {
+		t.Error("space should be available after completion")
+	}
+}
+
+func TestMSHRMergeLimit(t *testing.T) {
+	m := NewMSHRTable(4, 2)
+	m.Allocate(0x100, 1)
+	_, ok := m.Allocate(0x100, 2)
+	if !ok {
+		t.Fatal("second merge should succeed")
+	}
+	if m.CanAccept(0x100) {
+		t.Error("merge limit reached, CanAccept should be false")
+	}
+	_, ok = m.Allocate(0x100, 3)
+	if ok {
+		t.Error("merge beyond limit should fail")
+	}
+}
+
+func TestMSHRPeakAndReset(t *testing.T) {
+	m := NewMSHRTable(8, 0)
+	for i := 0; i < 5; i++ {
+		m.Allocate(uint64(i)*128, uint64(i))
+	}
+	if m.PeakOccupancy() != 5 {
+		t.Errorf("peak = %d, want 5", m.PeakOccupancy())
+	}
+	if m.Capacity() != 8 {
+		t.Errorf("capacity = %d, want 8", m.Capacity())
+	}
+	m.Reset()
+	if m.Occupancy() != 0 || m.PeakOccupancy() != 0 || m.Allocations() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestMSHRPanicsOnInvalidCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMSHRTable(0, 0)
+}

@@ -1,0 +1,37 @@
+package core
+
+import "repro/internal/config"
+
+// ReconfigCost estimates the stall cycles of an LLC mode transition beyond
+// the in-flight drain time that the GPU measures directly (§4.1, "Dynamic
+// Reconfiguration"):
+//
+//   - dirty LLC lines must be written back to DRAM before a shared-to-
+//     private transition (the private LLC is write-through, and the flush
+//     must not lose data); the write-back streams at the aggregate DRAM
+//     bandwidth;
+//   - invalidating the (clean) LLC contents is a tag-only operation charged
+//     at one cycle per sampled group of sets; and
+//   - power-gating or waking the MC-routers costs a few tens of cycles.
+//
+// The paper reports a total overhead of a couple hundred to a couple
+// thousand cycles; this estimator lands in the same range for realistic
+// dirty-line counts.
+func ReconfigCost(cfg config.Config, dirtyLines int) uint64 {
+	cfg = cfg.Normalize()
+	cost := uint64(cfg.PowerGateCycles)
+
+	// Tag invalidation sweep: the slices are invalidated in parallel, one
+	// set per cycle per slice.
+	cost += uint64(cfg.LLCSetsPerSlice())
+
+	if dirtyLines > 0 {
+		aggregateBytesPerCycle := cfg.BusBytesPerCycle * cfg.NumMemControllers
+		if aggregateBytesPerCycle <= 0 {
+			aggregateBytesPerCycle = cfg.LLCLineBytes
+		}
+		writebackBytes := uint64(dirtyLines) * uint64(cfg.LLCLineBytes)
+		cost += (writebackBytes + uint64(aggregateBytesPerCycle) - 1) / uint64(aggregateBytesPerCycle)
+	}
+	return cost
+}

@@ -1,0 +1,142 @@
+// Package exp contains the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section 6) on the simulated GPU.
+//
+// Each FigureN function runs the required simulations and returns a
+// structured result plus a Format method that prints the same rows/series
+// the paper reports. Absolute values differ from the paper (the substrate is
+// a from-scratch simulator, not GPGPU-Sim on the authors' traces), but the
+// shape of every result — which organization wins, by roughly what factor,
+// and where the crossovers lie — is expected to match.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Options controls the scale of the experiments.
+type Options struct {
+	// MeasureCycles is the number of simulated cycles per run after warm-up.
+	MeasureCycles uint64
+	// WarmupCycles is excluded from all statistics.
+	WarmupCycles uint64
+	// Seed drives the workload generators.
+	Seed int64
+	// ProfileWindowCycles and EpochCycles configure the adaptive controller;
+	// they are scaled down together with the shortened simulations (the
+	// paper uses 50K/1M on billion-instruction runs).
+	ProfileWindowCycles int
+	EpochCycles         int
+}
+
+// DefaultOptions returns the scale used by the committed experiment results.
+func DefaultOptions() Options {
+	return Options{
+		MeasureCycles:       60_000,
+		WarmupCycles:        20_000,
+		Seed:                1,
+		ProfileWindowCycles: 2_000,
+		EpochCycles:         1_000_000,
+	}
+}
+
+// QuickOptions returns a reduced scale for unit tests and smoke runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.MeasureCycles = 20_000
+	o.WarmupCycles = 8_000
+	return o
+}
+
+// baseConfig builds the GPU configuration for a given LLC mode.
+func (o Options) baseConfig(mode config.LLCMode) config.Config {
+	cfg := config.Baseline()
+	cfg.LLCMode = mode
+	cfg.ProfileWindowCycles = o.ProfileWindowCycles
+	cfg.EpochCycles = o.EpochCycles
+	return cfg
+}
+
+// Run executes one benchmark on one configuration and returns the run
+// statistics. It is the building block used by every figure.
+func (o Options) Run(spec workload.Spec, cfg config.Config) (gpu.RunStats, error) {
+	gen, err := workload.NewGenerator(spec, cfg, o.Seed)
+	if err != nil {
+		return gpu.RunStats{}, err
+	}
+	g, err := gpu.New(cfg, gen)
+	if err != nil {
+		return gpu.RunStats{}, err
+	}
+	if o.WarmupCycles > 0 {
+		g.Warmup(o.WarmupCycles)
+	}
+	return g.Run(o.MeasureCycles, spec.Kernels), nil
+}
+
+// RunMode is a convenience wrapper around Run for a plain baseline
+// configuration with the given LLC mode.
+func (o Options) RunMode(spec workload.Spec, mode config.LLCMode) (gpu.RunStats, error) {
+	return o.Run(spec, o.baseConfig(mode))
+}
+
+// classAbbrs returns the benchmark abbreviations of one class, in catalog
+// order.
+func classAbbrs(c workload.Class) []string {
+	var out []string
+	for _, s := range workload.ByClass(c) {
+		out = append(out, s.Abbr)
+	}
+	return out
+}
+
+// hmean is a harmonic mean that tolerates empty input (returns 0).
+func hmean(vals []float64) float64 {
+	m, err := metrics.HarmonicMean(vals)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// formatTable renders rows of columns with a header using a fixed-width
+// layout (the experiment binaries write these tables to stdout and to
+// EXPERIMENTS.md).
+func formatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

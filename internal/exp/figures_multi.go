@@ -1,0 +1,278 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 15 — multi-program workloads
+// ---------------------------------------------------------------------------
+
+// Figure15Row is one two-program combination: a shared-cache-friendly
+// application co-running with a private-cache-friendly one. STP is reported
+// for a conventional shared LLC and for adaptive caching, which serves each
+// application with its preferred organization simultaneously (Figure 9).
+type Figure15Row struct {
+	SharedApp   string
+	PrivateApp  string
+	SharedSTP   float64
+	AdaptiveSTP float64
+	Speedup     float64
+}
+
+// Figure15Result holds all pairs, sorted by adaptive STP as in the paper.
+type Figure15Result struct {
+	Rows       []Figure15Row
+	AvgSpeedup float64
+	Options    Options
+}
+
+// Figure15 evaluates all shared-friendly x private-friendly two-program
+// combinations.
+func Figure15(o Options) (*Figure15Result, error) {
+	res := &Figure15Result{Options: o}
+
+	// Single-program (alone) IPC under a shared LLC is the STP baseline.
+	aloneIPC := map[string]float64{}
+	for _, spec := range workload.Catalog() {
+		if spec.Class == workload.Neutral {
+			continue
+		}
+		rs, err := o.RunMode(spec, config.LLCShared)
+		if err != nil {
+			return nil, fmt.Errorf("figure15 alone %s: %w", spec.Abbr, err)
+		}
+		aloneIPC[spec.Abbr] = rs.IPC
+	}
+
+	var sum float64
+	for _, sharedSpec := range workload.ByClass(workload.SharedFriendly) {
+		for _, privSpec := range workload.ByClass(workload.PrivateFriendly) {
+			sharedSTP, err := o.runPair(sharedSpec, privSpec, false, aloneIPC)
+			if err != nil {
+				return nil, err
+			}
+			adaptiveSTP, err := o.runPair(sharedSpec, privSpec, true, aloneIPC)
+			if err != nil {
+				return nil, err
+			}
+			row := Figure15Row{
+				SharedApp:   sharedSpec.Abbr,
+				PrivateApp:  privSpec.Abbr,
+				SharedSTP:   sharedSTP,
+				AdaptiveSTP: adaptiveSTP,
+				Speedup:     norm(adaptiveSTP, sharedSTP),
+			}
+			res.Rows = append(res.Rows, row)
+			sum += row.Speedup
+		}
+	}
+	if len(res.Rows) > 0 {
+		res.AvgSpeedup = sum / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// runPair co-executes two applications and returns the system throughput.
+// With perAppModes, the shared-friendly application keeps a shared LLC view
+// while the private-friendly one gets a private view (the paper's adaptive
+// multi-program configuration); otherwise both use the shared LLC.
+func (o Options) runPair(sharedSpec, privSpec workload.Spec, perAppModes bool, aloneIPC map[string]float64) (float64, error) {
+	cfg := o.baseConfig(config.LLCShared)
+	mp, err := workload.NewMultiProgram([]workload.Spec{sharedSpec, privSpec}, cfg, o.Seed)
+	if err != nil {
+		return 0, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
+	}
+	g, err := gpu.New(cfg, mp)
+	if err != nil {
+		return 0, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
+	}
+	if perAppModes {
+		if err := g.SetAppModes([]config.LLCMode{config.LLCShared, config.LLCPrivate}); err != nil {
+			return 0, err
+		}
+	}
+	if o.WarmupCycles > 0 {
+		g.Warmup(o.WarmupCycles)
+	}
+	kernels := sharedSpec.Kernels
+	if privSpec.Kernels > kernels {
+		kernels = privSpec.Kernels
+	}
+	rs := g.Run(o.MeasureCycles, kernels)
+	stp, err := metrics.STP(rs.AppIPC, []float64{aloneIPC[sharedSpec.Abbr], aloneIPC[privSpec.Abbr]})
+	if err != nil {
+		return 0, err
+	}
+	return stp, nil
+}
+
+// Format renders the figure as a table, sorted by adaptive STP.
+func (r *Figure15Result) Format() string {
+	header := []string{"shared app", "private app", "STP shared LLC", "STP adaptive LLC", "speedup"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.SharedApp, row.PrivateApp,
+			fmt.Sprintf("%.3f", row.SharedSTP),
+			fmt.Sprintf("%.3f", row.AdaptiveSTP),
+			fmt.Sprintf("%.3f", row.Speedup),
+		})
+	}
+	out := "Figure 15: multi-program system throughput (two-program combinations)\n"
+	out += formatTable(header, rows)
+	out += fmt.Sprintf("AVG STP speedup of adaptive over shared: %.3f (%.1f%%)\n", r.AvgSpeedup, (r.AvgSpeedup-1)*100)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16 — sensitivity analyses
+// ---------------------------------------------------------------------------
+
+// Figure16Row is one sensitivity design point: the average normalized IPC of
+// the adaptive LLC relative to a shared LLC over the private-cache-friendly
+// workloads.
+type Figure16Row struct {
+	Category     string
+	Point        string
+	NormAdaptive float64
+}
+
+// Figure16Result holds all sensitivity sweeps.
+type Figure16Result struct {
+	Rows    []Figure16Row
+	Options Options
+}
+
+// figure16Workloads returns the workload set used for the sensitivity study
+// (the private-cache-friendly applications, as in the paper).
+func figure16Workloads() []workload.Spec {
+	return workload.ByClass(workload.PrivateFriendly)
+}
+
+// Figure16 sweeps address mapping, NoC channel width, SM count, L1 size and
+// CTA scheduling policy, reporting the adaptive LLC's average speedup over
+// the shared LLC for each design point.
+func Figure16(o Options) (*Figure16Result, error) {
+	res := &Figure16Result{Options: o}
+
+	type variant struct {
+		category string
+		point    string
+		mutate   func(*config.Config)
+	}
+	variants := []variant{
+		{"address mapping", "PAE", func(c *config.Config) { c.Mapping = config.MappingPAE }},
+		{"address mapping", "Hynix", func(c *config.Config) { c.Mapping = config.MappingHynix }},
+		{"channel width", "64B", func(c *config.Config) { c.ChannelBytes = 64 }},
+		{"channel width", "32B", func(c *config.Config) { c.ChannelBytes = 32 }},
+		{"channel width", "16B", func(c *config.Config) { c.ChannelBytes = 16 }},
+		{"SM count", "40", func(c *config.Config) { scaleSMs(c, 40) }},
+		{"SM count", "80", func(c *config.Config) { scaleSMs(c, 80) }},
+		{"SM count", "160", func(c *config.Config) { scaleSMs(c, 160) }},
+		{"L1 size", "48KB", func(c *config.Config) { setL1(c, 48*1024, 6) }},
+		{"L1 size", "64KB", func(c *config.Config) { setL1(c, 64*1024, 8) }},
+		{"L1 size", "96KB", func(c *config.Config) { setL1(c, 96*1024, 6) }},
+		{"L1 size", "128KB", func(c *config.Config) { setL1(c, 128*1024, 8) }},
+		{"CTA scheduling", "two-level RR", func(c *config.Config) { c.CTAScheduler = config.CTATwoLevelRR }},
+		{"CTA scheduling", "BCS", func(c *config.Config) { c.CTAScheduler = config.CTABlock }},
+		{"CTA scheduling", "DCS", func(c *config.Config) { c.CTAScheduler = config.CTADistributed }},
+	}
+
+	for _, v := range variants {
+		sharedCfg := o.baseConfig(config.LLCShared)
+		v.mutate(&sharedCfg)
+		adaptiveCfg := o.baseConfig(config.LLCAdaptive)
+		v.mutate(&adaptiveCfg)
+
+		var ratios []float64
+		for _, spec := range figure16Workloads() {
+			shared, err := o.Run(spec, sharedCfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure16 %s/%s %s shared: %w", v.category, v.point, spec.Abbr, err)
+			}
+			adaptive, err := o.Run(spec, adaptiveCfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure16 %s/%s %s adaptive: %w", v.category, v.point, spec.Abbr, err)
+			}
+			ratios = append(ratios, norm(adaptive.IPC, shared.IPC))
+		}
+		res.Rows = append(res.Rows, Figure16Row{
+			Category:     v.category,
+			Point:        v.point,
+			NormAdaptive: hmean(ratios),
+		})
+	}
+	return res, nil
+}
+
+// scaleSMs changes the SM count while keeping 10 SMs per cluster and the
+// NoC/LLC co-design constraint (#clusters == #slices per MC), as the paper's
+// sensitivity study does.
+func scaleSMs(c *config.Config, sms int) {
+	smsPerCluster := 10
+	c.NumSMs = sms
+	c.NumClusters = sms / smsPerCluster
+	c.LLCSlicesPerMC = c.NumClusters
+}
+
+// setL1 sets the per-SM L1 capacity, adjusting associativity so the set
+// count stays integral.
+func setL1(c *config.Config, bytes, ways int) {
+	c.L1SizeBytes = bytes
+	c.L1Ways = ways
+}
+
+// Format renders the figure as a table.
+func (r *Figure16Result) Format() string {
+	header := []string{"category", "design point", "adaptive vs shared (HM over private-friendly apps)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Category, row.Point, fmt.Sprintf("%.3f", row.NormAdaptive),
+		})
+	}
+	return "Figure 16: sensitivity analyses (adaptive LLC speedup over shared LLC)\n" + formatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1 and 2
+// ---------------------------------------------------------------------------
+
+// Table1 renders the baseline architecture configuration.
+func Table1() string {
+	c := config.Baseline().Normalize()
+	header := []string{"parameter", "value"}
+	rows := [][]string{
+		{"Streaming Multiprocessors", fmt.Sprintf("%d SMs, %d MHz", c.NumSMs, c.CoreClockMHz)},
+		{"Warp size", fmt.Sprintf("%d", c.WarpSize)},
+		{"Schedulers / SM", fmt.Sprintf("%d (GTO)", c.SchedulersPerSM)},
+		{"Threads / SM", fmt.Sprintf("%d", c.MaxWarpsPerSM*c.WarpSize)},
+		{"L1 data cache / SM", fmt.Sprintf("%d KB, %d-way, LRU, %d B line", c.L1SizeBytes/1024, c.L1Ways, c.L1LineBytes)},
+		{"Memory controllers", fmt.Sprintf("%d", c.NumMemControllers)},
+		{"LLC slices / MC", fmt.Sprintf("%d x %d KB, %d-way, LRU, %d B line", c.LLCSlicesPerMC, c.LLCSliceBytes/1024, c.LLCWays, c.LLCLineBytes)},
+		{"LLC total", fmt.Sprintf("%d MB, %d cycles access time", c.TotalLLCBytes()/(1024*1024), c.LLCLatency)},
+		{"Interconnect", fmt.Sprintf("%s, %d B channel, %d-stage router", c.NoC, c.ChannelBytes, c.RouterPipeline)},
+		{"DRAM", fmt.Sprintf("FR-FCFS, %d banks/MC, %.0f GB/s", c.BanksPerMC, c.DRAMBandwidthGBs)},
+		{"GDDR5 timing", fmt.Sprintf("tCL=%d tRP=%d tRC=%d tRAS=%d tRCD=%d tRRD=%d tCCD=%d tWR=%d",
+			c.Timing.TCL, c.Timing.TRP, c.Timing.TRC, c.Timing.TRAS, c.Timing.TRCD, c.Timing.TRRD, c.Timing.TCCD, c.Timing.TWR)},
+	}
+	return "Table 1: baseline GPU architecture\n" + formatTable(header, rows)
+}
+
+// Table2 renders the benchmark catalog.
+func Table2() string {
+	header := []string{"benchmark", "abbr", "shared data (MB)", "kernels", "class"}
+	var rows [][]string
+	for _, s := range workload.Catalog() {
+		rows = append(rows, []string{
+			s.Name, s.Abbr, fmt.Sprintf("%.3f", s.SharedDataMB), fmt.Sprintf("%d", s.Kernels), s.Class.String(),
+		})
+	}
+	return "Table 2: GPU benchmarks\n" + formatTable(header, rows)
+}

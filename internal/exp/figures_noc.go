@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 7 — NoC design-space exploration
+// ---------------------------------------------------------------------------
+
+// nocDesignPoint is one bar group member of Figure 7: a topology paired with
+// the channel width that gives it the group's bisection bandwidth.
+type nocDesignPoint struct {
+	Name          string
+	Group         string // BW, BW/2, BW/4, BW/8
+	Topology      config.NoCTopology
+	ChannelBytes  int
+	Concentration int
+}
+
+// figure7DesignPoints mirrors the pairing used in the paper: the full
+// crossbar anchors the BW group; each lower-bandwidth group pairs a
+// concentrated crossbar at 32-byte channels with an H-Xbar whose channel is
+// narrowed to match the bisection bandwidth.
+func figure7DesignPoints() []nocDesignPoint {
+	return []nocDesignPoint{
+		{Name: "Full Xbar", Group: "BW", Topology: config.NoCFull, ChannelBytes: 32},
+		{Name: "H-Xbar", Group: "BW", Topology: config.NoCHierarchical, ChannelBytes: 32},
+		{Name: "C-Xbar c=2", Group: "BW/2", Topology: config.NoCConcentrated, ChannelBytes: 32, Concentration: 2},
+		{Name: "H-Xbar", Group: "BW/2", Topology: config.NoCHierarchical, ChannelBytes: 16},
+		{Name: "C-Xbar c=4", Group: "BW/4", Topology: config.NoCConcentrated, ChannelBytes: 32, Concentration: 4},
+		{Name: "H-Xbar", Group: "BW/4", Topology: config.NoCHierarchical, ChannelBytes: 8},
+		{Name: "C-Xbar c=8", Group: "BW/8", Topology: config.NoCConcentrated, ChannelBytes: 32, Concentration: 8},
+		{Name: "H-Xbar", Group: "BW/8", Topology: config.NoCHierarchical, ChannelBytes: 4},
+	}
+}
+
+// Figure7Row is one design point with its measured performance, area and
+// power.
+type Figure7Row struct {
+	Name            string
+	Group           string
+	NormalizedIPC   float64 // relative to the full crossbar
+	Area            power.Breakdown
+	NormalizedPower float64 // relative to the full crossbar
+	Power           power.Breakdown
+}
+
+// Figure7Result holds the design-space exploration results.
+type Figure7Result struct {
+	Rows    []Figure7Row
+	Options Options
+}
+
+// figure7Workloads is the benchmark subset used for the design-space sweep
+// (one representative per class keeps the sweep affordable).
+func figure7Workloads() []string { return []string{"MM", "GEMM", "VA", "NN"} }
+
+// Figure7 explores the crossbar design space: performance from timing
+// simulation, area and power from the DSENT-style model fed with the
+// simulated activity factors.
+func Figure7(o Options) (*Figure7Result, error) {
+	res := &Figure7Result{Options: o}
+	type measured struct {
+		ipc    float64
+		energy power.Breakdown
+		area   power.Breakdown
+	}
+	var baseline *measured
+
+	for _, dp := range figure7DesignPoints() {
+		cfg := o.baseConfig(config.LLCShared)
+		cfg.NoC = dp.Topology
+		cfg.ChannelBytes = dp.ChannelBytes
+		if dp.Concentration > 0 {
+			cfg.Concentration = dp.Concentration
+		}
+		design, err := power.NewNoCDesign(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure7 %s: %w", dp.Name, err)
+		}
+
+		var ipcSum float64
+		var activity noc.Stats
+		var cycles uint64
+		for _, abbr := range figure7Workloads() {
+			spec, ok := workload.ByAbbr(abbr)
+			if !ok {
+				return nil, fmt.Errorf("figure7: unknown benchmark %s", abbr)
+			}
+			rs, err := o.Run(spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure7 %s %s: %w", dp.Name, abbr, err)
+			}
+			ipcSum += rs.IPC
+			activity.Add(rs.NoC)
+			cycles += rs.Cycles
+		}
+		m := measured{
+			ipc:    ipcSum / float64(len(figure7Workloads())),
+			energy: design.Energy(activity, cycles, 0),
+			area:   design.Area(),
+		}
+		if baseline == nil {
+			b := m
+			baseline = &b
+		}
+		res.Rows = append(res.Rows, Figure7Row{
+			Name:            dp.Name,
+			Group:           dp.Group,
+			NormalizedIPC:   norm(m.ipc, baseline.ipc),
+			Area:            m.area,
+			Power:           m.energy,
+			NormalizedPower: norm(m.energy.Total(), baseline.energy.Total()),
+		})
+	}
+	return res, nil
+}
+
+// Format renders Figure 7's three panels as one table.
+func (r *Figure7Result) Format() string {
+	header := []string{"group", "design", "norm. IPC", "area (mm²)", "buffer", "crossbar", "links", "other", "norm. power"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Group, row.Name,
+			fmt.Sprintf("%.3f", row.NormalizedIPC),
+			fmt.Sprintf("%.2f", row.Area.Total()),
+			fmt.Sprintf("%.2f", row.Area.Buffer),
+			fmt.Sprintf("%.2f", row.Area.Crossbar),
+			fmt.Sprintf("%.2f", row.Area.Links),
+			fmt.Sprintf("%.2f", row.Area.Other),
+			fmt.Sprintf("%.3f", row.NormalizedPower),
+		})
+	}
+	return "Figure 7: NoC design space (performance, active silicon area, power)\n" + formatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — NoC energy under adaptive caching (+ total system energy, §6.2)
+// ---------------------------------------------------------------------------
+
+// Figure14Row is the NoC energy of one benchmark under the adaptive LLC
+// normalized to the shared-LLC baseline, with the component breakdown, plus
+// the total system energy ratio.
+type Figure14Row struct {
+	Abbr                 string
+	Class                workload.Class
+	SharedNoCEnergy      power.Breakdown
+	AdaptiveNoCEnergy    power.Breakdown
+	NormalizedNoC        float64
+	SharedSystemEnergy   power.SystemEnergy
+	AdaptiveSystemEnergy power.SystemEnergy
+	NormalizedSystem     float64
+	GatedFraction        float64
+}
+
+// Figure14Result holds the energy comparison for the private-friendly and
+// neutral workloads (the classes for which the adaptive LLC selects the
+// private organization and power-gates the MC-routers).
+type Figure14Result struct {
+	Rows      []Figure14Row
+	AvgNoC    float64
+	AvgSystem float64
+	Options   Options
+}
+
+// Figure14 compares NoC and total system energy between the shared baseline
+// and the adaptive LLC.
+func Figure14(o Options) (*Figure14Result, error) {
+	res := &Figure14Result{Options: o}
+	cfg := o.baseConfig(config.LLCShared)
+	model, err := power.NewSystemModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	design := model.NoCDesign()
+
+	specs := append(workload.ByClass(workload.PrivateFriendly), workload.ByClass(workload.Neutral)...)
+	var sumNoC, sumSys float64
+	for _, spec := range specs {
+		shared, err := o.RunMode(spec, config.LLCShared)
+		if err != nil {
+			return nil, fmt.Errorf("figure14 %s: %w", spec.Abbr, err)
+		}
+		adaptive, err := o.RunMode(spec, config.LLCAdaptive)
+		if err != nil {
+			return nil, fmt.Errorf("figure14 %s: %w", spec.Abbr, err)
+		}
+		sharedNoC := design.Energy(shared.NoC, shared.Cycles, 0)
+		adaptiveNoC := design.Energy(adaptive.NoC, adaptive.Cycles, adaptive.GatedFraction)
+		sharedSys := model.Energy(systemActivity(shared))
+		adaptiveSys := model.Energy(systemActivity(adaptive))
+		row := Figure14Row{
+			Abbr: spec.Abbr, Class: spec.Class,
+			SharedNoCEnergy: sharedNoC, AdaptiveNoCEnergy: adaptiveNoC,
+			NormalizedNoC:        norm(adaptiveNoC.Total(), sharedNoC.Total()),
+			SharedSystemEnergy:   sharedSys,
+			AdaptiveSystemEnergy: adaptiveSys,
+			NormalizedSystem:     norm(adaptiveSys.Total(), sharedSys.Total()),
+			GatedFraction:        adaptive.GatedFraction,
+		}
+		res.Rows = append(res.Rows, row)
+		sumNoC += row.NormalizedNoC
+		sumSys += row.NormalizedSystem
+	}
+	if len(res.Rows) > 0 {
+		res.AvgNoC = sumNoC / float64(len(res.Rows))
+		res.AvgSystem = sumSys / float64(len(res.Rows))
+	}
+	return res, nil
+}
+
+// systemActivity converts run statistics into the power model's activity
+// descriptor.
+func systemActivity(rs gpu.RunStats) power.SystemActivity {
+	return power.SystemActivity{
+		Cycles:        rs.Cycles,
+		Instructions:  rs.Instructions,
+		L1Accesses:    rs.SM.L1Hits + rs.SM.L1Misses,
+		LLCAccesses:   rs.LLC.Accesses,
+		DRAMAccesses:  rs.DRAMAccesses,
+		NoC:           rs.NoC,
+		GatedFraction: rs.GatedFraction,
+	}
+}
+
+// Format renders the figure as a table.
+func (r *Figure14Result) Format() string {
+	header := []string{"benchmark", "class", "gated frac", "NoC energy (norm.)", "buffer", "crossbar", "links", "other", "system energy (norm.)"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		tot := row.SharedNoCEnergy.Total()
+		rows = append(rows, []string{
+			row.Abbr, row.Class.String(),
+			fmt.Sprintf("%.2f", row.GatedFraction),
+			fmt.Sprintf("%.3f", row.NormalizedNoC),
+			fmt.Sprintf("%.2f", safeDiv(row.AdaptiveNoCEnergy.Buffer, tot)),
+			fmt.Sprintf("%.2f", safeDiv(row.AdaptiveNoCEnergy.Crossbar, tot)),
+			fmt.Sprintf("%.2f", safeDiv(row.AdaptiveNoCEnergy.Links, tot)),
+			fmt.Sprintf("%.2f", safeDiv(row.AdaptiveNoCEnergy.Other, tot)),
+			fmt.Sprintf("%.3f", row.NormalizedSystem),
+		})
+	}
+	out := "Figure 14: NoC energy under adaptive caching, normalized to a shared LLC (plus total system energy, §6.2)\n"
+	out += formatTable(header, rows)
+	out += fmt.Sprintf("AVG: NoC energy %.3f (%.1f%% saving), system energy %.3f (%.1f%% saving)\n",
+		r.AvgNoC, (1-r.AvgNoC)*100, r.AvgSystem, (1-r.AvgSystem)*100)
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

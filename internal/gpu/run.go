@@ -1,0 +1,458 @@
+package gpu
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/sm"
+)
+
+// sharingWindowCycles is the measurement window for the inter-cluster
+// locality characterization (Figure 3 uses 1,000-cycle windows).
+const sharingWindowCycles = 1000
+
+// dramMeta carries the originating slice of a fill request through the
+// memory controller.
+type dramMeta struct {
+	slice int
+	addr  uint64
+	fill  bool
+}
+
+// RunStats is the result of one simulation run.
+type RunStats struct {
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+
+	// Per-application totals (single-program runs have one entry).
+	AppInstructions []uint64
+	AppIPC          []float64
+
+	SM  sm.Stats
+	LLC llc.Stats
+	// LLCPerSliceAccesses is the access count per global slice index.
+	LLCPerSliceAccesses []uint64
+	LLCMissRate         float64
+	// LLCResponseFlits is the number of flits injected into the reply
+	// network; divided by Cycles it is the paper's LLC response rate.
+	LLCResponseFlits uint64
+	ResponseRate     float64
+
+	DRAM         dram.Stats
+	DRAMAccesses uint64
+	ReqNet       noc.Stats
+	RepNet       noc.Stats
+	NoC          noc.Stats // request + reply combined
+	L1MissRate   float64
+
+	// Inter-cluster sharing histogram (fraction of lines touched by 1, 2,
+	// 3-4, 5-8+ clusters within 1,000-cycle windows).
+	SharingHistogram [4]float64
+
+	// Adaptive-LLC behaviour.
+	FinalMode        config.LLCMode
+	GatedCycles      uint64
+	GatedFraction    float64
+	ReconfigCount    uint64
+	ReconfigStall    uint64
+	ModeCycles       map[config.LLCMode]uint64
+	Controller       *core.Stats
+	LastPrediction   *core.Prediction
+	KernelBoundaries []uint64
+}
+
+// Warmup advances the simulation by `cycles` cycles and then clears every
+// statistics counter, so that a subsequent Run measures steady-state
+// behaviour (caches warm, lockstep established) without cold-start
+// transients. The adaptive controller's state is preserved.
+func (g *GPU) Warmup(cycles uint64) {
+	g.runLoop(cycles, 1)
+	g.resetMeasurement()
+}
+
+// resetMeasurement clears all statistics gathered so far.
+func (g *GPU) resetMeasurement() {
+	for _, s := range g.sms {
+		s.ResetStats()
+	}
+	for _, s := range g.slices {
+		s.ResetStats()
+	}
+	for _, mc := range g.mcs {
+		mc.ResetStats()
+	}
+	g.reqNet.ResetStats()
+	g.repNet.ResetStats()
+	g.gatedCycles = 0
+	g.stallCycles = 0
+	g.reconfigCount = 0
+	g.sharerBuckets = [4]uint64{}
+	g.sharerTotal = 0
+	g.kernelBoundaries = nil
+	g.modeCycles = make(map[config.LLCMode]uint64)
+}
+
+// Run simulates `cycles` core cycles, splitting them evenly into `kernels`
+// kernel invocations (kernel boundaries re-synchronize the workload and, for
+// the adaptive LLC, trigger Rule #3), and returns the measured statistics.
+func (g *GPU) Run(cycles uint64, kernels int) RunStats {
+	g.runLoop(cycles, kernels)
+	return g.collect(cycles)
+}
+
+// runLoop advances the simulation by `cycles` cycles.
+func (g *GPU) runLoop(cycles uint64, kernels int) {
+	if kernels < 1 {
+		kernels = 1
+	}
+	kernelLen := cycles / uint64(kernels)
+	if kernelLen == 0 {
+		kernelLen = cycles
+	}
+	nextKernel := g.cycle + kernelLen
+	end := g.cycle + cycles
+	g.sharerWindowEnd = g.cycle + sharingWindowCycles
+
+	for g.cycle < end {
+		g.cycle++
+		g.modeCycles[g.mode]++
+		if g.mode == config.LLCPrivate && g.reqNet.Bypassed() {
+			g.gatedCycles++
+		}
+
+		// Kernel boundary.
+		if g.cycle >= nextKernel && g.cycle < end {
+			nextKernel += kernelLen
+			g.kernelBoundaries = append(g.kernelBoundaries, g.cycle)
+			g.prog.NextKernel()
+			if g.ctrl != nil {
+				if d := g.ctrl.OnKernelLaunch(g.cycle); d != nil {
+					g.scheduleReconfig(d)
+				}
+			}
+		}
+
+		g.step()
+
+		// Adaptive controller decision point.
+		if g.ctrl != nil && !g.reconfigActive && g.cycle >= g.stallUntil {
+			if d := g.ctrl.Tick(g.cycle); d != nil {
+				g.scheduleReconfig(d)
+			}
+		} else if g.ctrl != nil && (g.reconfigActive || g.cycle < g.stallUntil) {
+			// Keep the controller's epoch clock running during transitions.
+			if d := g.ctrl.Tick(g.cycle); d != nil {
+				g.pendingDecision = d
+			}
+		}
+
+		// Inter-cluster sharing window.
+		if g.cycle >= g.sharerWindowEnd {
+			g.collectSharing()
+			g.sharerWindowEnd = g.cycle + sharingWindowCycles
+		}
+	}
+}
+
+// step advances every component by one cycle.
+func (g *GPU) step() {
+	stalled := g.reconfigActive || g.cycle < g.stallUntil
+	if stalled {
+		g.stallCycles++
+	}
+
+	// 1. SMs issue instructions (unless the GPU is stalled for an LLC
+	//    reconfiguration) and hand their memory requests to the request NoC.
+	if !stalled {
+		for _, s := range g.sms {
+			s.Tick(g.cycle, g.prog)
+		}
+	}
+	if !g.reconfigActive {
+		// While draining we stop injecting so the network empties; requests
+		// already buffered inside the SMs simply wait.
+		g.injectRequests()
+	}
+
+	// 2. Request network delivers to LLC slices.
+	for _, p := range g.reqNet.Tick() {
+		req := p.Meta.(*mem.Request)
+		g.slices[p.Dst].EnqueueRequest(req)
+	}
+
+	// 3. LLC slices process requests, talk to DRAM and emit replies.
+	for _, s := range g.slices {
+		s.Tick(g.cycle)
+	}
+	g.moveSliceToDRAM()
+
+	// 4. DRAM controllers.
+	for _, mc := range g.mcs {
+		for _, done := range mc.Tick() {
+			meta := done.Req.Meta.(dramMeta)
+			if meta.fill {
+				g.slices[meta.slice].DRAMComplete(meta.addr)
+			}
+		}
+	}
+
+	// 5. LLC replies into the reply network.
+	g.injectReplies()
+
+	// 6. Reply network delivers to SMs.
+	for _, p := range g.repNet.Tick() {
+		reply := p.Meta.(mem.Reply)
+		g.sms[p.Dst].CompleteLoad(reply, g.cycle)
+	}
+
+	// 7. Reconfiguration progress.
+	if g.reconfigActive {
+		g.checkDrain()
+	}
+}
+
+// injectRequests moves memory requests from the SMs into the request NoC.
+func (g *GPU) injectRequests() {
+	reqFlits := g.cfg.RequestFlits()
+	writeFlits := g.cfg.ReplyFlits() // stores carry a cache line of payload
+	for _, s := range g.sms {
+		for {
+			req, ok := s.PopRequest()
+			if !ok {
+				break
+			}
+			loc := g.mapper.Map(req.Addr)
+			dst := g.sliceFor(req, loc)
+			flits := reqFlits
+			if req.Write {
+				flits = writeFlits
+			}
+			pkt := &noc.Packet{ID: req.ID, Src: req.SM, Dst: dst, Flits: flits, Meta: req}
+			if !g.reqNet.Inject(pkt) {
+				s.UnpopRequest(req)
+				break
+			}
+			if g.ctrl != nil && g.mode == config.LLCShared {
+				sharedSlice := loc.Channel*g.cfg.LLCSlicesPerMC + loc.Slice
+				g.ctrl.ObserveRequest(req.Addr, req.Cluster, loc.Channel, sharedSlice)
+			}
+		}
+	}
+}
+
+// moveSliceToDRAM forwards LLC miss traffic and write-backs to the memory
+// controllers.
+func (g *GPU) moveSliceToDRAM() {
+	for _, s := range g.slices {
+		for {
+			d, ok := s.PopDRAMRequest()
+			if !ok {
+				break
+			}
+			mcID := s.MC()
+			loc := g.mapper.Map(d.Addr)
+			req := dram.Request{
+				ID:    uint64(s.ID())<<48 | uint64(d.Addr>>7),
+				Bank:  loc.Bank,
+				Row:   loc.Row,
+				Write: d.Write,
+				Meta:  dramMeta{slice: s.ID(), addr: d.Addr, fill: d.Fill},
+			}
+			if !g.mcs[mcID].Enqueue(req) {
+				s.UnpopDRAMRequest(d)
+				break
+			}
+		}
+	}
+}
+
+// injectReplies moves matured LLC replies into the reply network.
+func (g *GPU) injectReplies() {
+	flits := g.cfg.ReplyFlits()
+	for _, s := range g.slices {
+		for {
+			r, ok := s.PopReply(g.cycle)
+			if !ok {
+				break
+			}
+			pkt := &noc.Packet{ID: r.ReqID, Src: s.ID(), Dst: r.SM, Flits: flits, Meta: r}
+			if !g.repNet.Inject(pkt) {
+				s.UnpopReply(r)
+				break
+			}
+		}
+	}
+}
+
+// scheduleReconfig begins the transition requested by the controller.
+func (g *GPU) scheduleReconfig(d *core.Decision) {
+	if d.Target == g.mode {
+		return
+	}
+	g.reconfigActive = true
+	g.reconfigTarget = d.Target
+	g.reconfigReason = d.Reason
+	g.reconfigStarted = g.cycle
+	g.reconfigCount++
+}
+
+// checkDrain completes the reconfiguration once the memory system is idle:
+// the LLC is flushed (dirty lines are charged against DRAM bandwidth), the
+// write policy and NoC bypass are switched, and the GPU stalls for the
+// computed overhead (paper §4.1, "Dynamic Reconfiguration").
+func (g *GPU) checkDrain() {
+	if g.reqNet.Pending() || g.repNet.Pending() {
+		return
+	}
+	for _, s := range g.slices {
+		if s.Pending() {
+			return
+		}
+	}
+	for _, mc := range g.mcs {
+		if !mc.Drain() {
+			return
+		}
+	}
+
+	dirty := 0
+	for _, s := range g.slices {
+		_, d := s.Flush()
+		dirty += d
+	}
+	cost := core.ReconfigCost(g.cfg, dirty)
+	if err := g.applyMode(g.reconfigTarget); err != nil {
+		// The target mode is always shared or private and the slices were
+		// just flushed; failure here is a programming error.
+		panic(err)
+	}
+	drainTime := g.cycle - g.reconfigStarted
+	g.stallUntil = g.cycle + cost
+	g.reconfigActive = false
+	if g.ctrl != nil {
+		g.ctrl.ReportReconfigOverhead(drainTime + cost)
+		if g.pendingDecision != nil {
+			d := g.pendingDecision
+			g.pendingDecision = nil
+			g.scheduleReconfig(d)
+		}
+	}
+}
+
+// collectSharing samples the per-line sharer histograms of all slices and
+// resets them for the next window.
+func (g *GPU) collectSharing() {
+	for _, s := range g.slices {
+		one, two, threeFour, fivePlus, total := s.Tags().SharerHistogram()
+		g.sharerBuckets[0] += uint64(one)
+		g.sharerBuckets[1] += uint64(two)
+		g.sharerBuckets[2] += uint64(threeFour)
+		g.sharerBuckets[3] += uint64(fivePlus)
+		g.sharerTotal += uint64(total)
+		s.Tags().ResetSharers()
+	}
+}
+
+// collect builds the RunStats snapshot.
+func (g *GPU) collect(cycles uint64) RunStats {
+	rs := RunStats{
+		Cycles:           cycles,
+		FinalMode:        g.mode,
+		GatedCycles:      g.gatedCycles,
+		ReconfigCount:    g.reconfigCount,
+		ReconfigStall:    g.stallCycles,
+		ModeCycles:       g.modeCycles,
+		KernelBoundaries: append([]uint64(nil), g.kernelBoundaries...),
+	}
+	if cycles > 0 {
+		rs.GatedFraction = float64(g.gatedCycles) / float64(cycles)
+	}
+
+	rs.AppInstructions = make([]uint64, g.numApps)
+	rs.AppIPC = make([]float64, g.numApps)
+	for i, s := range g.sms {
+		st := s.Stats()
+		rs.SM.Add(st)
+		rs.Instructions += st.Instructions
+		rs.AppInstructions[g.smApp[i]] += st.Instructions
+	}
+	if cycles > 0 {
+		rs.IPC = float64(rs.Instructions) / float64(cycles)
+		for a := range rs.AppIPC {
+			rs.AppIPC[a] = float64(rs.AppInstructions[a]) / float64(cycles)
+		}
+	}
+	rs.L1MissRate = rs.SM.L1MissRate()
+
+	rs.LLCPerSliceAccesses = make([]uint64, len(g.slices))
+	for i, s := range g.slices {
+		st := s.Stats()
+		rs.LLC.Add(st)
+		rs.LLCPerSliceAccesses[i] = st.Accesses
+	}
+	rs.LLCMissRate = rs.LLC.MissRate()
+	rs.LLCResponseFlits = g.repNet.Stats().FlitsInjected
+	if cycles > 0 {
+		rs.ResponseRate = float64(rs.LLCResponseFlits) / float64(cycles)
+	}
+
+	for _, mc := range g.mcs {
+		st := mc.Stats()
+		rs.DRAM.Requests += st.Requests
+		rs.DRAM.Reads += st.Reads
+		rs.DRAM.Writes += st.Writes
+		rs.DRAM.RowHits += st.RowHits
+		rs.DRAM.RowMisses += st.RowMisses
+		rs.DRAM.RowConflicts += st.RowConflicts
+		rs.DRAM.BytesMoved += st.BytesMoved
+		rs.DRAM.BusyCycles += st.BusyCycles
+		rs.DRAM.TotalQueueing += st.TotalQueueing
+		rs.DRAM.Completed += st.Completed
+		rs.DRAM.StallsFull += st.StallsFull
+	}
+	rs.DRAMAccesses = rs.DRAM.Requests
+
+	rs.ReqNet = g.reqNet.Stats()
+	rs.RepNet = g.repNet.Stats()
+	rs.NoC = rs.ReqNet
+	rs.NoC.Add(rs.RepNet)
+
+	if g.sharerTotal > 0 {
+		for i := range rs.SharingHistogram {
+			rs.SharingHistogram[i] = float64(g.sharerBuckets[i]) / float64(g.sharerTotal)
+		}
+	}
+
+	if g.ctrl != nil {
+		st := g.ctrl.Stats()
+		rs.Controller = &st
+		pred := g.ctrl.LastPrediction()
+		rs.LastPrediction = &pred
+	}
+	return rs
+}
+
+// L1AccessCount returns the total number of L1 accesses across all SMs
+// (used by the system energy model).
+func (g *GPU) L1AccessCount() uint64 {
+	var total uint64
+	for _, s := range g.sms {
+		st := s.Stats()
+		total += st.L1Hits + st.L1Misses
+	}
+	return total
+}
+
+// SliceWritePolicy reports the current write policy of slice 0 (all slices
+// share the same policy); exported for tests.
+func (g *GPU) SliceWritePolicy() cache.WritePolicy {
+	return g.slices[0].WritePolicy()
+}
+
+// Slices exposes the LLC slices for characterization experiments.
+func (g *GPU) Slices() []*llc.Slice { return g.slices }

@@ -1,0 +1,388 @@
+// Package llc models the memory-side last-level cache slices.
+//
+// A Slice is the unit of LLC organization in the paper: every memory
+// controller owns SlicesPerMC slices, and a slice only ever caches lines of
+// the memory partition served by its controller. Under a shared LLC a slice
+// is indexed by address bits and serves all SMs; under a private LLC it is
+// indexed by the requester's cluster and serves only that cluster, caching
+// the controller's entire partition for it.
+//
+// The slice model is cycle-driven: it accepts requests delivered by the NoC,
+// performs one tag access per cycle, allocates MSHRs on misses, emits DRAM
+// requests and, when data is available (hit after the access latency, or
+// DRAM fill), emits replies that the owner injects into the reply network.
+package llc
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// Stats aggregates slice activity.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+	// MergedMisses counts reads that found their line already outstanding in
+	// an MSHR: they do not cost a DRAM access, so they are also counted as
+	// hits for miss-rate purposes (GPGPU-Sim's "hit reserved" outcome).
+	MergedMisses uint64
+	Reads        uint64
+	Writes       uint64
+	Fills        uint64
+	Writebacks   uint64 // lines written to DRAM (dirty evictions or write-through stores)
+	RepliesSent  uint64
+	MSHRStalls   uint64
+	PeakQueue    int
+	QueueCycles  uint64 // sum of queue occupancy per cycle (for average queue depth)
+}
+
+// MissRate returns Misses/Accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRate returns Hits/Accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.MergedMisses += other.MergedMisses
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Fills += other.Fills
+	s.Writebacks += other.Writebacks
+	s.RepliesSent += other.RepliesSent
+	s.MSHRStalls += other.MSHRStalls
+	s.QueueCycles += other.QueueCycles
+	if other.PeakQueue > s.PeakQueue {
+		s.PeakQueue = other.PeakQueue
+	}
+}
+
+// DRAMRequest is a line-granularity request the slice wants to send to its
+// memory controller.
+type DRAMRequest struct {
+	Addr  uint64
+	Write bool
+	// Fill indicates the request is a read that must fill the slice and wake
+	// merged requesters on completion (as opposed to a fire-and-forget
+	// writeback).
+	Fill bool
+}
+
+// pendingReply is a reply waiting for its release cycle (models the LLC
+// access latency) before it can be injected into the reply network.
+type pendingReply struct {
+	reply   mem.Reply
+	readyAt uint64
+}
+
+// Slice is one memory-side LLC slice.
+type Slice struct {
+	id    int // global slice index
+	mc    int // owning memory controller
+	local int // slice index within the memory controller
+
+	tags    *cache.Cache
+	mshrs   *cache.MSHRTable
+	latency uint64
+
+	cfg config.Config
+
+	// inq is the request queue fed by the NoC. The NoC's per-port
+	// serialization already limits arrival rate; the queue itself is
+	// unbounded and its occupancy is the paper's "requests queue up in front
+	// of the LLC slice" effect.
+	inq []*mem.Request
+
+	// Output queues drained by the owner each cycle.
+	dramOut  []DRAMRequest
+	replyOut []pendingReply
+
+	// mshrMeta remembers the requests merged on an outstanding line.
+	mshrReqs map[uint64][]*mem.Request
+
+	cycle uint64
+	stats Stats
+}
+
+// NewSlice creates slice `id` (global index) owned by memory controller mc.
+func NewSlice(id, mc, local int, cfg config.Config) *Slice {
+	tagCfg := cache.Config{
+		SizeBytes: cfg.LLCSliceBytes,
+		Ways:      cfg.LLCWays,
+		LineBytes: cfg.LLCLineBytes,
+		Policy:    cache.WriteBack,
+	}
+	return &Slice{
+		id:       id,
+		mc:       mc,
+		local:    local,
+		tags:     cache.New(tagCfg),
+		mshrs:    cache.NewMSHRTable(cfg.LLCMSHRsPerSlice, 0),
+		latency:  uint64(cfg.LLCLatency),
+		cfg:      cfg,
+		mshrReqs: make(map[uint64][]*mem.Request),
+	}
+}
+
+// ID returns the global slice index.
+func (s *Slice) ID() int { return s.id }
+
+// MC returns the owning memory controller index.
+func (s *Slice) MC() int { return s.mc }
+
+// Local returns the slice index within its memory controller.
+func (s *Slice) Local() int { return s.local }
+
+// Stats returns a snapshot of the slice statistics.
+func (s *Slice) Stats() Stats { return s.stats }
+
+// ResetStats clears statistics (cache contents are preserved).
+func (s *Slice) ResetStats() { s.stats = Stats{} }
+
+// Tags exposes the underlying tag store (used for sharing characterization
+// and by the adaptive controller's profiling hooks).
+func (s *Slice) Tags() *cache.Cache { return s.tags }
+
+// SetWritePolicy switches between write-back (shared mode) and
+// write-through (private mode) store handling.
+func (s *Slice) SetWritePolicy(p cache.WritePolicy) {
+	// The tag store's policy only matters for how it marks lines dirty; we
+	// rebuild the behaviour here because policy changes happen only at
+	// reconfiguration boundaries when the slice has been flushed.
+	cfg := s.tags.Config()
+	if cfg.Policy == p {
+		return
+	}
+	if s.tags.ValidLines() != 0 {
+		panic("llc: write policy change requires a flushed slice")
+	}
+	cfg.Policy = p
+	s.tags = cache.New(cfg)
+}
+
+// WritePolicy returns the current store-handling policy.
+func (s *Slice) WritePolicy() cache.WritePolicy { return s.tags.Config().Policy }
+
+// QueueLen returns the current request queue occupancy.
+func (s *Slice) QueueLen() int { return len(s.inq) }
+
+// Pending reports whether the slice still has queued requests, outstanding
+// misses or unemitted output.
+func (s *Slice) Pending() bool {
+	return len(s.inq) > 0 || s.mshrs.Occupancy() > 0 || len(s.dramOut) > 0 || len(s.replyOut) > 0
+}
+
+// EnqueueRequest accepts a request delivered by the NoC.
+func (s *Slice) EnqueueRequest(r *mem.Request) {
+	if r == nil {
+		panic("llc: nil request")
+	}
+	s.inq = append(s.inq, r)
+	if len(s.inq) > s.stats.PeakQueue {
+		s.stats.PeakQueue = len(s.inq)
+	}
+}
+
+// Tick advances the slice by one cycle: it admits at most one request from
+// the input queue into the tag pipeline and matures pending replies.
+func (s *Slice) Tick(cycle uint64) {
+	s.cycle = cycle
+	s.stats.QueueCycles += uint64(len(s.inq))
+	if len(s.inq) == 0 {
+		return
+	}
+	r := s.inq[0]
+	if !s.process(r) {
+		return // stalled (MSHRs full); retry next cycle
+	}
+	copy(s.inq, s.inq[1:])
+	s.inq = s.inq[:len(s.inq)-1]
+}
+
+// process runs the tag access for r. It returns false if the request could
+// not be handled this cycle and must be retried.
+func (s *Slice) process(r *mem.Request) bool {
+	lineAddr := s.tags.LineAddr(r.Addr)
+
+	if !r.Write {
+		// A read that merges into an outstanding miss does not need a tag
+		// access outcome of its own.
+		if s.mshrs.Outstanding(lineAddr) {
+			if _, ok := s.mshrs.Allocate(lineAddr, r.ID); !ok {
+				s.stats.MSHRStalls++
+				return false
+			}
+			s.mshrReqs[lineAddr] = append(s.mshrReqs[lineAddr], r)
+			s.stats.Accesses++
+			s.stats.Reads++
+			s.stats.Hits++
+			s.stats.MergedMisses++
+			return true
+		}
+		// A read that would miss needs an MSHR; stall before touching the
+		// tags (and the statistics) if none is available.
+		if !s.tags.Probe(r.Addr) && !s.mshrs.CanAccept(lineAddr) {
+			s.stats.MSHRStalls++
+			return false
+		}
+	}
+
+	kind := cache.Read
+	if r.Write {
+		kind = cache.Write
+	}
+	res := s.tags.Access(r.Addr, kind, r.Cluster)
+
+	s.stats.Accesses++
+	if r.Write {
+		s.stats.Writes++
+	} else {
+		s.stats.Reads++
+	}
+
+	if res.Evicted && res.WritebackReq && !r.Write {
+		// Dirty eviction caused by a read allocation.
+		s.emitDRAM(DRAMRequest{Addr: res.EvictedAddr, Write: true})
+	}
+
+	if r.Write {
+		return s.processWrite(r, res)
+	}
+	return s.processRead(r, lineAddr, res)
+}
+
+func (s *Slice) processRead(r *mem.Request, lineAddr uint64, res cache.Result) bool {
+	if res.Hit {
+		s.stats.Hits++
+		s.replyOut = append(s.replyOut, pendingReply{
+			reply: mem.Reply{
+				ReqID: r.ID, Addr: r.Addr, SM: r.SM, Warp: r.Warp, AppID: r.AppID,
+				HitLLC: true, IssuedAt: r.IssuedAt, CreatedAt: s.cycle,
+			},
+			readyAt: s.cycle + s.latency,
+		})
+		return true
+	}
+	s.stats.Misses++
+	primary, ok := s.mshrs.Allocate(lineAddr, r.ID)
+	if !ok {
+		// process() checked MSHR availability before the tag access.
+		panic(fmt.Sprintf("llc slice %d: MSHR allocation failed after capacity check", s.id))
+	}
+	s.mshrReqs[lineAddr] = append(s.mshrReqs[lineAddr], r)
+	if primary {
+		s.emitDRAM(DRAMRequest{Addr: lineAddr, Fill: true})
+	}
+	return true
+}
+
+func (s *Slice) processWrite(r *mem.Request, res cache.Result) bool {
+	if res.Hit {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	if res.WritebackReq && s.WritePolicy() == cache.WriteThrough {
+		// Write-through: forward the store to DRAM immediately.
+		s.emitDRAM(DRAMRequest{Addr: s.tags.LineAddr(r.Addr), Write: true})
+	}
+	if res.Evicted && res.WritebackReq && s.WritePolicy() == cache.WriteBack {
+		// Write-back mode dirty eviction triggered by a write allocation.
+		s.emitDRAM(DRAMRequest{Addr: res.EvictedAddr, Write: true})
+	}
+	// Stores do not generate replies: GPU stores retire at issue.
+	return true
+}
+
+func (s *Slice) emitDRAM(d DRAMRequest) {
+	s.dramOut = append(s.dramOut, d)
+	if d.Write {
+		s.stats.Writebacks++
+	}
+}
+
+// DRAMComplete notifies the slice that the read of lineAddr finished. The
+// line is filled and all merged requesters receive replies.
+func (s *Slice) DRAMComplete(lineAddr uint64) {
+	reqs := s.mshrs.Complete(lineAddr)
+	waiting := s.mshrReqs[lineAddr]
+	delete(s.mshrReqs, lineAddr)
+	if reqs == nil && waiting == nil {
+		panic(fmt.Sprintf("llc slice %d: fill for %#x without outstanding miss", s.id, lineAddr))
+	}
+	s.stats.Fills++
+	for _, r := range waiting {
+		s.replyOut = append(s.replyOut, pendingReply{
+			reply: mem.Reply{
+				ReqID: r.ID, Addr: r.Addr, SM: r.SM, Warp: r.Warp, AppID: r.AppID,
+				HitLLC: false, IssuedAt: r.IssuedAt, CreatedAt: s.cycle,
+			},
+			readyAt: s.cycle, // DRAM latency already elapsed
+		})
+	}
+}
+
+// PopDRAMRequest returns the next DRAM request, if any. The caller must only
+// consume it if the memory controller accepted it; otherwise call
+// UnpopDRAMRequest to retry later.
+func (s *Slice) PopDRAMRequest() (DRAMRequest, bool) {
+	if len(s.dramOut) == 0 {
+		return DRAMRequest{}, false
+	}
+	d := s.dramOut[0]
+	copy(s.dramOut, s.dramOut[1:])
+	s.dramOut = s.dramOut[:len(s.dramOut)-1]
+	return d, true
+}
+
+// UnpopDRAMRequest puts d back at the head of the DRAM output queue.
+func (s *Slice) UnpopDRAMRequest(d DRAMRequest) {
+	s.dramOut = append([]DRAMRequest{d}, s.dramOut...)
+}
+
+// PopReply returns the next reply whose LLC latency has elapsed. The caller
+// must only consume it if the reply network accepted it; otherwise call
+// UnpopReply.
+func (s *Slice) PopReply(cycle uint64) (mem.Reply, bool) {
+	if len(s.replyOut) == 0 || s.replyOut[0].readyAt > cycle {
+		return mem.Reply{}, false
+	}
+	pr := s.replyOut[0]
+	copy(s.replyOut, s.replyOut[1:])
+	s.replyOut = s.replyOut[:len(s.replyOut)-1]
+	s.stats.RepliesSent++
+	return pr.reply, true
+}
+
+// UnpopReply puts r back at the head of the reply queue (it remains ready).
+func (s *Slice) UnpopReply(r mem.Reply) {
+	s.replyOut = append([]pendingReply{{reply: r, readyAt: 0}}, s.replyOut...)
+	s.stats.RepliesSent--
+}
+
+// Flush invalidates the whole slice, returning the number of valid and
+// dirty lines. The caller accounts for the write-back time of dirty lines
+// during reconfiguration.
+func (s *Slice) Flush() (valid, dirty int) {
+	return s.tags.FlushAll()
+}
+
+// TagStats returns the tag-store statistics (used for miss-rate reporting).
+func (s *Slice) TagStats() cache.Stats { return s.tags.Stats() }

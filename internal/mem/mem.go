@@ -1,0 +1,34 @@
+// Package mem defines the memory-request type exchanged between the SMs,
+// the NoC, the memory-side LLC slices and the DRAM controllers.
+package mem
+
+// Request is one cache-line-granularity memory transaction on its way from
+// an SM's L1 miss to the memory-side LLC (and possibly DRAM) and back.
+type Request struct {
+	ID      uint64
+	Addr    uint64 // line-aligned physical address
+	Write   bool
+	SM      int // originating SM index
+	Cluster int // originating SM cluster index
+	Warp    int // originating warp slot within the SM (for wakeup bookkeeping)
+
+	// IssuedAt is the core cycle the request left the SM (post-L1).
+	IssuedAt uint64
+	// AppID identifies the application in multi-program mode (0 otherwise).
+	AppID int
+}
+
+// Reply is the response to a read Request.
+type Reply struct {
+	ReqID  uint64
+	Addr   uint64
+	SM     int
+	Warp   int
+	AppID  int
+	HitLLC bool // whether the request hit in the LLC (vs. filled from DRAM)
+	// IssuedAt is copied from the originating request (for round-trip
+	// latency accounting at the SM).
+	IssuedAt uint64
+	// CreatedAt is the cycle the LLC generated the reply.
+	CreatedAt uint64
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestIPCAndNormalize(t *testing.T) {
+	if IPC(200, 100) != 2 {
+		t.Error("IPC(200,100) != 2")
+	}
+	if IPC(1, 0) != 0 {
+		t.Error("IPC with zero cycles should be 0")
+	}
+	if Normalize(3, 2) != 1.5 || Normalize(3, 0) != 0 {
+		t.Error("Normalize mismatch")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	hm, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil || !approx(hm, 3/(1+0.5+0.25)) {
+		t.Errorf("HarmonicMean = %v, %v", hm, err)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("empty harmonic mean should error")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("harmonic mean with zero should error")
+	}
+	gm, err := GeometricMean([]float64{1, 4})
+	if err != nil || !approx(gm, 2) {
+		t.Errorf("GeometricMean = %v, %v", gm, err)
+	}
+	if _, err := GeometricMean([]float64{-1}); err == nil {
+		t.Error("geometric mean with negative should error")
+	}
+	if _, err := GeometricMean(nil); err == nil {
+		t.Error("empty geometric mean should error")
+	}
+	if ArithmeticMean([]float64{1, 2, 3}) != 2 || ArithmeticMean(nil) != 0 {
+		t.Error("ArithmeticMean mismatch")
+	}
+	if Max([]float64{1, 5, 3}) != 5 || Min([]float64{4, 2, 9}) != 2 {
+		t.Error("Max/Min mismatch")
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("Max/Min of empty should be 0")
+	}
+}
+
+func TestHarmonicLEQArithmeticProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		vals := []float64{float64(a)/16 + 0.1, float64(b)/16 + 0.1, float64(c)/16 + 0.1}
+		hm, err := HarmonicMean(vals)
+		if err != nil {
+			return false
+		}
+		return hm <= ArithmeticMean(vals)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSTPAndANTT(t *testing.T) {
+	stp, err := STP([]float64{0.5, 0.8}, []float64{1.0, 1.0})
+	if err != nil || !approx(stp, 1.3) {
+		t.Errorf("STP = %v, %v", stp, err)
+	}
+	if _, err := STP([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths should error")
+	}
+	if _, err := STP([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone-IPC should error")
+	}
+	antt, err := ANTT([]float64{0.5, 1.0}, []float64{1.0, 1.0})
+	if err != nil || !approx(antt, 1.5) {
+		t.Errorf("ANTT = %v, %v", antt, err)
+	}
+	if _, err := ANTT([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero multi-IPC should error in ANTT")
+	}
+	if _, err := ANTT(nil, nil); err == nil {
+		t.Error("empty ANTT should error")
+	}
+}
+
+func TestResponseRate(t *testing.T) {
+	if ResponseRate(500, 100) != 5 {
+		t.Error("ResponseRate mismatch")
+	}
+	if ResponseRate(1, 0) != 0 {
+		t.Error("zero cycles should give 0")
+	}
+}
+
+func TestLSP(t *testing.T) {
+	// All accesses to one slice: LSP = 1.
+	if got := LSP([]uint64{100, 0, 0, 0}); got != 1 {
+		t.Errorf("LSP hotspot = %v, want 1", got)
+	}
+	// Perfectly balanced: LSP = number of slices.
+	if got := LSP([]uint64{50, 50, 50, 50}); got != 4 {
+		t.Errorf("LSP balanced = %v, want 4", got)
+	}
+	// Idle LLC.
+	if got := LSP([]uint64{0, 0}); got != 0 {
+		t.Errorf("LSP idle = %v, want 0", got)
+	}
+	// Intermediate case is between 1 and N.
+	got := LSP([]uint64{100, 50, 25, 25})
+	if got <= 1 || got >= 4 {
+		t.Errorf("LSP intermediate = %v, want in (1,4)", got)
+	}
+}
+
+// Property: 1 <= LSP <= len(slices) whenever any slice has traffic.
+func TestLSPBoundsProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		counts := []uint64{uint64(a), uint64(b), uint64(c), uint64(d)}
+		lsp := LSP(counts)
+		var total uint64
+		for _, v := range counts {
+			total += v
+		}
+		if total == 0 {
+			return lsp == 0
+		}
+		return lsp >= 1 && lsp <= float64(len(counts))+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 1 || out[1] != 2 || out[2] != 3 {
+		t.Errorf("SortedCopy = %v", out)
+	}
+	if in[0] != 3 {
+		t.Error("SortedCopy must not mutate the input")
+	}
+}

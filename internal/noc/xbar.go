@@ -1,0 +1,286 @@
+package noc
+
+import "fmt"
+
+// inQueue is one router input buffer (the single virtual channel of a port).
+// Capacity is expressed in flits; packets occupy their flit count.
+type inQueue struct {
+	packets   []*Packet
+	capFlits  int
+	usedFlits int
+	// injBusyUntil serializes injections over the link feeding this queue at
+	// one flit per cycle (models the physical channel into the port).
+	injBusyUntil uint64
+	// servedBy is the output port currently holding this queue in its
+	// candidate list (nil when the queue is empty or unregistered).
+	servedBy *outPort
+	router   *router
+}
+
+func (q *inQueue) freeFlits() int { return q.capFlits - q.usedFlits }
+
+// reserve marks flits as committed to this queue before the packet arrives.
+func (q *inQueue) reserve(flits int) { q.usedFlits += flits }
+
+// pushReserved appends a packet whose flits were already reserved.
+func (q *inQueue) pushReserved(p *Packet) {
+	q.packets = append(q.packets, p)
+}
+
+// pop removes and returns the head packet, releasing its flits.
+func (q *inQueue) pop() *Packet {
+	p := q.packets[0]
+	copy(q.packets, q.packets[1:])
+	q.packets = q.packets[:len(q.packets)-1]
+	q.usedFlits -= p.Flits
+	return p
+}
+
+func (q *inQueue) head() *Packet {
+	if len(q.packets) == 0 {
+		return nil
+	}
+	return q.packets[0]
+}
+
+// outPort is a router output port. It serializes packets at one flit per
+// cycle and forwards them either to a downstream input queue (next router
+// stage) or to a destination endpoint.
+type outPort struct {
+	router *router
+	// downstream is the next-stage input buffer, or nil when the port
+	// delivers to destination endpoints directly.
+	downstream *inQueue
+	// bypassSink, when >= 0 and downstream == nil, asserts that every packet
+	// leaving this port must be destined to that endpoint (used to validate
+	// MC-router bypass routing).
+	bypassSink  int
+	longLink    bool
+	linkLatency int
+	pipeLatency int
+
+	busyUntil  uint64
+	candidates []*inQueue // FIFO of input queues whose head packet routes here
+	inflight   []inflightPkt
+}
+
+type inflightPkt struct {
+	p        *Packet
+	arriveAt uint64
+}
+
+// router is one switch: a set of input queues, a set of output ports and a
+// routing function mapping a packet to the output port index that serves it.
+type router struct {
+	name     string
+	inQs     []*inQueue
+	outPorts []*outPort
+	route    func(p *Packet) int
+	gated    bool
+}
+
+// registerHead places q in the candidate list of the output port its head
+// packet routes to.
+func (r *router) registerHead(q *inQueue, net *xbarNet) {
+	h := q.head()
+	if h == nil || q.servedBy != nil {
+		return
+	}
+	idx := r.route(h)
+	if idx < 0 || idx >= len(r.outPorts) {
+		panic(fmt.Sprintf("noc: router %s routed packet dst=%d to invalid port %d", r.name, h.Dst, idx))
+	}
+	port := r.outPorts[idx]
+	port.candidates = append(port.candidates, q)
+	q.servedBy = port
+}
+
+// xbarNet is the shared engine behind all crossbar topologies.
+type xbarNet struct {
+	name    string
+	numSrc  int
+	numDst  int
+	cycle   uint64
+	stats   Stats
+	routers []*router
+
+	// injection mapping: source endpoint -> input queue (normal mode).
+	injQ []*inQueue
+	// injection link class per source endpoint.
+	injLong []bool
+
+	// bypass support (hierarchical crossbar only).
+	supportsBypass bool
+	bypassed       bool
+	// applyBypass reconfigures the wiring; applied by SetBypass.
+	applyBypass func(net *xbarNet, enable bool)
+
+	inflightCount int
+	delivered     []*Packet // reused scratch slice returned by Tick
+}
+
+// Inject implements Net.
+func (n *xbarNet) Inject(p *Packet) bool {
+	if p.Src < 0 || p.Src >= n.numSrc || p.Dst < 0 || p.Dst >= n.numDst {
+		panic(fmt.Sprintf("noc %s: endpoint out of range src=%d dst=%d", n.name, p.Src, p.Dst))
+	}
+	q := n.injQ[p.Src]
+	if q.freeFlits() < p.Flits || n.cycle < q.injBusyUntil {
+		n.stats.InjectStallCycles++
+		return false
+	}
+	p.InjectedAt = n.cycle
+	q.reserve(p.Flits)
+	q.pushReserved(p)
+	q.injBusyUntil = n.cycle + uint64(p.Flits)
+	q.router.registerHead(q, n)
+	n.stats.Injected++
+	n.stats.FlitsInjected += uint64(p.Flits)
+	n.stats.BufferWrites += uint64(p.Flits)
+	if n.injLong[p.Src] {
+		n.stats.LongLinkFlits += uint64(p.Flits)
+	} else {
+		n.stats.ShortLinkFlits += uint64(p.Flits)
+	}
+	n.inflightCount++
+	return true
+}
+
+// CanInject implements Net.
+func (n *xbarNet) CanInject(src, flits int) bool {
+	if src < 0 || src >= n.numSrc {
+		return false
+	}
+	q := n.injQ[src]
+	return q.freeFlits() >= flits && n.cycle >= q.injBusyUntil
+}
+
+// Pending implements Net.
+func (n *xbarNet) Pending() bool { return n.inflightCount > 0 }
+
+// Stats implements Net.
+func (n *xbarNet) Stats() Stats { return n.stats }
+
+// ResetStats implements Net.
+func (n *xbarNet) ResetStats() { n.stats = Stats{} }
+
+// Bypassed implements Net.
+func (n *xbarNet) Bypassed() bool { return n.bypassed }
+
+// SetBypass implements Net.
+func (n *xbarNet) SetBypass(enabled bool) error {
+	if !n.supportsBypass {
+		if enabled {
+			return ErrBypassUnsupported
+		}
+		return nil
+	}
+	if enabled == n.bypassed {
+		return nil
+	}
+	if n.Pending() {
+		return fmt.Errorf("noc %s: cannot reconfigure with %d packets in flight", n.name, n.inflightCount)
+	}
+	n.applyBypass(n, enabled)
+	n.bypassed = enabled
+	return nil
+}
+
+// Tick implements Net.
+func (n *xbarNet) Tick() []*Packet {
+	n.cycle++
+	n.delivered = n.delivered[:0]
+
+	for _, r := range n.routers {
+		if r.gated {
+			n.stats.GatedRouterCycles++
+		} else {
+			n.stats.RouterCycles++
+		}
+		for _, port := range r.outPorts {
+			n.tickPort(r, port)
+		}
+	}
+	return n.delivered
+}
+
+func (n *xbarNet) tickPort(r *router, port *outPort) {
+	// 1. Land in-flight packets whose link/pipeline delay elapsed.
+	if len(port.inflight) > 0 {
+		remaining := port.inflight[:0]
+		for _, f := range port.inflight {
+			if n.cycle >= f.arriveAt {
+				n.arrive(port, f.p)
+			} else {
+				remaining = append(remaining, f)
+			}
+		}
+		port.inflight = remaining
+	}
+
+	// 2. Start a new transmission if the port is free and a candidate waits.
+	if n.cycle < port.busyUntil || len(port.candidates) == 0 {
+		return
+	}
+	q := port.candidates[0]
+	p := q.head()
+	if p == nil {
+		// Defensive: should not happen, drop the stale candidate.
+		port.candidates = port.candidates[1:]
+		q.servedBy = nil
+		return
+	}
+	if port.downstream != nil && port.downstream.freeFlits() < p.Flits {
+		return // credit stall: wait for space downstream
+	}
+
+	// Dequeue from the input buffer and occupy the output for the packet's
+	// serialization time.
+	port.candidates = port.candidates[1:]
+	q.servedBy = nil
+	q.pop()
+	r.registerHead(q, n)
+
+	flits := uint64(p.Flits)
+	n.stats.BufferReads += flits
+	if !r.gated {
+		n.stats.CrossbarFlits += flits
+	}
+	if port.longLink {
+		n.stats.LongLinkFlits += flits
+	} else {
+		n.stats.ShortLinkFlits += flits
+	}
+	p.Hops++
+
+	serialize := uint64(p.Flits)
+	arrive := n.cycle + serialize + uint64(port.linkLatency+port.pipeLatency)
+	port.busyUntil = n.cycle + serialize
+
+	if port.downstream != nil {
+		port.downstream.reserve(p.Flits)
+	}
+	port.inflight = append(port.inflight, inflightPkt{p: p, arriveAt: arrive})
+}
+
+// arrive lands packet p at the far end of port's link.
+func (n *xbarNet) arrive(port *outPort, p *Packet) {
+	if port.downstream != nil {
+		dq := port.downstream
+		dq.pushReserved(p)
+		n.stats.BufferWrites += uint64(p.Flits)
+		dq.router.registerHead(dq, n)
+		return
+	}
+	if port.bypassSink >= 0 && p.Dst != port.bypassSink {
+		panic(fmt.Sprintf("noc %s: bypassed port expected dst %d, got %d (private-mode routing violated)",
+			n.name, port.bypassSink, p.Dst))
+	}
+	p.DeliveredAt = n.cycle
+	n.stats.Delivered++
+	n.stats.FlitsDelivered += uint64(p.Flits)
+	n.stats.TotalLatency += p.DeliveredAt - p.InjectedAt
+	n.stats.TotalHops += uint64(p.Hops)
+	n.inflightCount--
+	n.delivered = append(n.delivered, p)
+}

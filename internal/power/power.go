@@ -1,0 +1,321 @@
+// Package power provides the analytic energy and area models used in the
+// paper's evaluation:
+//
+//   - a DSENT-style NoC model at a 22 nm technology node that converts the
+//     NoC activity counters (buffer reads/writes, crossbar traversals, link
+//     traversals) into dynamic energy, adds area-proportional leakage, and
+//     reports active silicon area broken into buffer / crossbar / links /
+//     other (Figures 7b, 7c and 14), and
+//   - a GPUWattch-style whole-system model combining GPU core, LLC, NoC and
+//     DRAM energy to evaluate the total-system-energy claim of §6.2.
+//
+// Absolute numbers are calibrated to land in the same range as the paper's
+// plots (a few mm² of NoC silicon, NoC power of a few watts, GPU board
+// power on the order of 100–200 W); the experiments only rely on relative
+// comparisons.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/noc"
+)
+
+// Technology constants for the 22 nm node used by the paper.
+const (
+	// Dynamic energy coefficients.
+	bufferEnergyPerByte = 0.60e-12 // J per byte written to or read from an input buffer
+	// Crossbar traversal energy grows with switch radix because the internal
+	// wires get longer; the coefficient below is for a radix-16 switch and is
+	// scaled linearly with the design's average (in+out) port count, the same
+	// first-order dependence DSENT's matrix-crossbar model exhibits.
+	xbarEnergyPerByteR16 = 0.45e-12 // J per byte through a radix-16 crossbar
+	xbarReferenceRadix   = 16.0
+	linkEnergyPerByteMM  = 0.12e-12 // J per byte per millimetre of link traversed
+
+	// Area coefficients (active silicon).
+	bufferAreaPerByte   = 1.0e-5 // mm² per byte of input-buffer storage (SRAM + control)
+	xbarAreaPerBytePort = 1.5e-5 // mm² per (input port × output port × channel byte)
+	linkAreaPerByteMM   = 1.0e-5 // mm² of repeater area per byte of width per mm of length
+	otherAreaFraction   = 0.15   // allocators, arbiters, clocking as a fraction of router area
+
+	// Leakage: per-mm² static power at 22 nm.
+	leakagePerMM2 = 0.040 // W per mm²
+
+	// Link lengths.
+	longLinkMM  = 12.3 // half the Pascal die edge, as assumed in the paper
+	shortLinkMM = 1.0  // SM <-> SM-router and LLC slice <-> MC-router links
+)
+
+// Breakdown is an area (mm²) or energy (J) split by NoC component.
+type Breakdown struct {
+	Buffer   float64
+	Crossbar float64
+	Links    float64
+	Other    float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 { return b.Buffer + b.Crossbar + b.Links + b.Other }
+
+// Scale returns the breakdown multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{Buffer: b.Buffer * f, Crossbar: b.Crossbar * f, Links: b.Links * f, Other: b.Other * f}
+}
+
+// Add returns the component-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Buffer:   b.Buffer + o.Buffer,
+		Crossbar: b.Crossbar + o.Crossbar,
+		Links:    b.Links + o.Links,
+		Other:    b.Other + o.Other,
+	}
+}
+
+// routerClass describes one group of identical routers in a design.
+type routerClass struct {
+	count       int
+	inPorts     int
+	outPorts    int
+	bufferFlits int
+	gateable    bool // MC-routers: power-gated under a private LLC
+}
+
+// linkClass describes one group of identical links.
+type linkClass struct {
+	count    int
+	lengthMM float64
+}
+
+// NoCDesign is the structural description of a complete GPU NoC (request
+// plus reply network) used for area and leakage computations.
+type NoCDesign struct {
+	cfg     config.Config
+	routers []routerClass
+	links   []linkClass
+}
+
+// NewNoCDesign derives the structural NoC description from the GPU
+// configuration.
+func NewNoCDesign(cfg config.Config) (*NoCDesign, error) {
+	d := &NoCDesign{cfg: cfg}
+	numSMs := cfg.NumSMs
+	numSlices := cfg.NumLLCSlices()
+	bufFlits := cfg.VCsPerPort * cfg.FlitsPerVC
+	switch cfg.NoC {
+	case config.NoCFull:
+		// One high-radix switch per direction.
+		d.routers = []routerClass{
+			{count: 1, inPorts: numSMs, outPorts: numSlices, bufferFlits: bufFlits},
+			{count: 1, inPorts: numSlices, outPorts: numSMs, bufferFlits: bufFlits},
+		}
+		d.links = []linkClass{
+			{count: 2 * (numSMs + numSlices), lengthMM: longLinkMM},
+		}
+	case config.NoCConcentrated:
+		c := cfg.Concentration
+		if c <= 0 || numSMs%c != 0 || numSlices%c != 0 {
+			return nil, fmt.Errorf("power: invalid concentration %d", c)
+		}
+		d.routers = []routerClass{
+			{count: 1, inPorts: numSMs / c, outPorts: numSlices / c, bufferFlits: bufFlits},
+			{count: 1, inPorts: numSlices / c, outPorts: numSMs / c, bufferFlits: bufFlits},
+		}
+		d.links = []linkClass{
+			{count: 2 * (numSMs/c + numSlices/c), lengthMM: longLinkMM},
+		}
+	case config.NoCHierarchical:
+		smsPerCluster := cfg.SMsPerCluster()
+		d.routers = []routerClass{
+			// Request direction.
+			{count: cfg.NumClusters, inPorts: smsPerCluster, outPorts: cfg.NumMemControllers, bufferFlits: bufFlits},
+			{count: cfg.NumMemControllers, inPorts: cfg.NumClusters, outPorts: cfg.LLCSlicesPerMC, bufferFlits: bufFlits, gateable: true},
+			// Reply direction.
+			{count: cfg.NumMemControllers, inPorts: cfg.LLCSlicesPerMC, outPorts: cfg.NumClusters, bufferFlits: bufFlits, gateable: true},
+			{count: cfg.NumClusters, inPorts: cfg.NumMemControllers, outPorts: smsPerCluster, bufferFlits: bufFlits},
+		}
+		d.links = []linkClass{
+			// Short endpoint links: SMs and LLC slices, both directions.
+			{count: 2 * (numSMs + numSlices), lengthMM: shortLinkMM},
+			// Long inter-stage links: clusters x MCs, both directions.
+			{count: 2 * cfg.NumClusters * cfg.NumMemControllers, lengthMM: longLinkMM},
+		}
+	case config.NoCIdeal:
+		// The ideal network is an ablation device with no physical design.
+		d.routers = nil
+		d.links = nil
+	default:
+		return nil, fmt.Errorf("power: unknown topology %v", cfg.NoC)
+	}
+	return d, nil
+}
+
+// Area returns the active silicon area of the NoC in mm².
+func (d *NoCDesign) Area() Breakdown {
+	w := float64(d.cfg.ChannelBytes)
+	var out Breakdown
+	for _, r := range d.routers {
+		buf := float64(r.count) * float64(r.inPorts) * float64(r.bufferFlits) * w * bufferAreaPerByte
+		xbar := float64(r.count) * float64(r.inPorts) * float64(r.outPorts) * w * xbarAreaPerBytePort
+		out.Buffer += buf
+		out.Crossbar += xbar
+		out.Other += (buf + xbar) * otherAreaFraction
+	}
+	for _, l := range d.links {
+		out.Links += float64(l.count) * l.lengthMM * w * linkAreaPerByteMM
+	}
+	return out
+}
+
+// routerArea returns the area of the gateable (MC-router) and non-gateable
+// router portions, used for leakage accounting under power gating.
+func (d *NoCDesign) routerArea() (gateable, always Breakdown) {
+	w := float64(d.cfg.ChannelBytes)
+	for _, r := range d.routers {
+		buf := float64(r.count) * float64(r.inPorts) * float64(r.bufferFlits) * w * bufferAreaPerByte
+		xbar := float64(r.count) * float64(r.inPorts) * float64(r.outPorts) * w * xbarAreaPerBytePort
+		part := Breakdown{Buffer: buf, Crossbar: xbar, Other: (buf + xbar) * otherAreaFraction}
+		if r.gateable {
+			gateable = gateable.Add(part)
+		} else {
+			always = always.Add(part)
+		}
+	}
+	return gateable, always
+}
+
+// avgSwitchRadix returns the average (input+output) port count of the
+// switches a flit traverses, weighted by router count. It scales the
+// per-byte crossbar traversal energy.
+func (d *NoCDesign) avgSwitchRadix() float64 {
+	var radix, n float64
+	for _, r := range d.routers {
+		radix += float64(r.count) * float64(r.inPorts+r.outPorts)
+		n += float64(r.count)
+	}
+	if n == 0 {
+		return xbarReferenceRadix
+	}
+	return radix / n
+}
+
+// linkArea returns the link repeater area.
+func (d *NoCDesign) linkArea() float64 {
+	w := float64(d.cfg.ChannelBytes)
+	var a float64
+	for _, l := range d.links {
+		a += float64(l.count) * l.lengthMM * w * linkAreaPerByteMM
+	}
+	return a
+}
+
+// Energy converts NoC activity (the sum of request- and reply-network
+// statistics) over `cycles` core cycles into energy, split by component.
+// gatedFraction is the fraction of cycles during which the gateable routers
+// (the MC-routers) were power-gated.
+func (d *NoCDesign) Energy(activity noc.Stats, cycles uint64, gatedFraction float64) Breakdown {
+	if gatedFraction < 0 {
+		gatedFraction = 0
+	}
+	if gatedFraction > 1 {
+		gatedFraction = 1
+	}
+	w := float64(d.cfg.ChannelBytes)
+	seconds := float64(cycles) / (float64(d.cfg.CoreClockMHz) * 1e6)
+
+	var out Breakdown
+	// Dynamic energy from activity counters. Flits are channel-width wide.
+	xbarEnergyPerByte := xbarEnergyPerByteR16 * d.avgSwitchRadix() / xbarReferenceRadix
+	out.Buffer += float64(activity.BufferWrites+activity.BufferReads) * w * bufferEnergyPerByte
+	out.Crossbar += float64(activity.CrossbarFlits) * w * xbarEnergyPerByte
+	out.Links += float64(activity.ShortLinkFlits) * w * shortLinkMM * linkEnergyPerByteMM
+	out.Links += float64(activity.LongLinkFlits) * w * longLinkMM * linkEnergyPerByteMM
+
+	// Leakage: gateable routers leak only while powered on.
+	gateable, always := d.routerArea()
+	leak := func(b Breakdown, scale float64) Breakdown {
+		return b.Scale(leakagePerMM2 * seconds * scale)
+	}
+	out = out.Add(leak(always, 1))
+	out = out.Add(leak(gateable, 1-gatedFraction))
+	out.Links += d.linkArea() * leakagePerMM2 * seconds
+	// Allocator/clocking dynamic overhead proportional to switch activity.
+	out.Other += 0.10 * out.Crossbar
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Whole-system (GPUWattch-style) energy model
+// ---------------------------------------------------------------------------
+
+// System-level energy constants, calibrated to a Volta-class 80-SM GPU.
+const (
+	smLeakageWatts      = 0.55    // static power per SM
+	smEnergyPerInstr    = 0.35e-9 // J per warp instruction executed
+	l1EnergyPerAccess   = 0.08e-9 // J per L1 access
+	llcEnergyPerAccess  = 0.25e-9 // J per LLC slice access
+	llcLeakagePerSlice  = 0.015   // W per LLC slice
+	dramEnergyPerAccess = 6.0e-9  // J per 128-byte DRAM access (activation+IO)
+	dramLeakageWatts    = 12.0    // background power of the whole GDDR5 subsystem
+	otherLeakageWatts   = 8.0     // schedulers, PCIe, misc board components
+)
+
+// SystemActivity aggregates the event counts a run produces.
+type SystemActivity struct {
+	Cycles       uint64
+	Instructions uint64
+	L1Accesses   uint64
+	LLCAccesses  uint64
+	DRAMAccesses uint64
+	NoC          noc.Stats
+	// GatedFraction is the fraction of cycles the MC-routers were gated.
+	GatedFraction float64
+}
+
+// SystemEnergy is the total energy of a run split into major components.
+type SystemEnergy struct {
+	Core  float64 // SM static + dynamic
+	L1    float64
+	LLC   float64
+	NoC   Breakdown
+	DRAM  float64
+	Other float64
+}
+
+// Total returns total system energy in joules.
+func (e SystemEnergy) Total() float64 {
+	return e.Core + e.L1 + e.LLC + e.NoC.Total() + e.DRAM + e.Other
+}
+
+// SystemModel evaluates whole-GPU energy.
+type SystemModel struct {
+	cfg config.Config
+	noc *NoCDesign
+}
+
+// NewSystemModel builds a system energy model for the configuration.
+func NewSystemModel(cfg config.Config) (*SystemModel, error) {
+	nd, err := NewNoCDesign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SystemModel{cfg: cfg, noc: nd}, nil
+}
+
+// NoCDesign returns the embedded NoC design (for area queries).
+func (m *SystemModel) NoCDesign() *NoCDesign { return m.noc }
+
+// Energy computes the energy of a run described by the activity counters.
+func (m *SystemModel) Energy(a SystemActivity) SystemEnergy {
+	seconds := float64(a.Cycles) / (float64(m.cfg.CoreClockMHz) * 1e6)
+	var e SystemEnergy
+	e.Core = smLeakageWatts*float64(m.cfg.NumSMs)*seconds + smEnergyPerInstr*float64(a.Instructions)
+	e.L1 = l1EnergyPerAccess * float64(a.L1Accesses)
+	e.LLC = llcEnergyPerAccess*float64(a.LLCAccesses) + llcLeakagePerSlice*float64(m.cfg.NumLLCSlices())*seconds
+	e.NoC = m.noc.Energy(a.NoC, a.Cycles, a.GatedFraction)
+	e.DRAM = dramEnergyPerAccess*float64(a.DRAMAccesses) + dramLeakageWatts*seconds
+	e.Other = otherLeakageWatts * seconds
+	return e
+}

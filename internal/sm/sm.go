@@ -1,0 +1,362 @@
+// Package sm models a streaming multiprocessor at memory-request
+// granularity.
+//
+// Each SM hosts the configured number of warp contexts, fully occupied for
+// the duration of a run (the benchmarks of the paper are throughput kernels
+// with far more CTAs than the GPU can hold). Every cycle each of the SM's
+// schedulers picks a ready warp using a greedy-then-oldest (GTO) policy and
+// issues one instruction obtained from the workload generator:
+//
+//   - non-memory instructions occupy the warp for the workload's ALU
+//     latency;
+//   - loads access the per-SM L1 data cache; hits return after the L1 hit
+//     latency, misses allocate an L1 MSHR (merging on the same line) and
+//     emit a request that the GPU injects into the request NoC;
+//   - stores are write-through/no-allocate at the L1 and are sent to the
+//     LLC without blocking the warp.
+//
+// The SM therefore exposes exactly the behaviour the paper's evaluation
+// depends on: latency hiding across warps until the memory system (LLC
+// bandwidth, NoC or DRAM) becomes the bottleneck, at which point issue
+// stalls and IPC drops.
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Stats aggregates per-SM activity.
+type Stats struct {
+	Cycles           uint64
+	Instructions     uint64
+	MemInstructions  uint64
+	Loads            uint64
+	Stores           uint64
+	L1Hits           uint64
+	L1Misses         uint64
+	StallNoReadyWarp uint64 // scheduler slots with no ready warp
+	StallStructural  uint64 // issue attempts blocked on MSHR/queue space
+	RepliesReceived  uint64
+	TotalLoadLatency uint64 // sum over completed loads of round-trip cycles
+	LoadsCompleted   uint64
+}
+
+// IPC returns instructions per cycle for this SM.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// L1MissRate returns the L1 miss rate over load accesses.
+func (s Stats) L1MissRate() float64 {
+	total := s.L1Hits + s.L1Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L1Misses) / float64(total)
+}
+
+// AvgLoadLatency returns the mean round-trip latency of completed loads.
+func (s Stats) AvgLoadLatency() float64 {
+	if s.LoadsCompleted == 0 {
+		return 0
+	}
+	return float64(s.TotalLoadLatency) / float64(s.LoadsCompleted)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.Instructions += other.Instructions
+	s.MemInstructions += other.MemInstructions
+	s.Loads += other.Loads
+	s.Stores += other.Stores
+	s.L1Hits += other.L1Hits
+	s.L1Misses += other.L1Misses
+	s.StallNoReadyWarp += other.StallNoReadyWarp
+	s.StallStructural += other.StallStructural
+	s.RepliesReceived += other.RepliesReceived
+	s.TotalLoadLatency += other.TotalLoadLatency
+	s.LoadsCompleted += other.LoadsCompleted
+}
+
+type warp struct {
+	readyAt     uint64 // cycle at which the warp becomes ready again (ALU / L1 hit)
+	waitingMem  bool   // blocked on an outstanding load
+	blockedLine uint64 // line address the warp is waiting for
+	pending     *workload.Op
+	issued      uint64
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id      int
+	cluster int
+	cfg     config.Config
+
+	l1    *cache.Cache
+	mshrs *cache.MSHRTable
+	warps []warp
+
+	// current warp per scheduler for GTO scheduling; warps are statically
+	// partitioned across schedulers by slot index modulo scheduler count.
+	current []int
+
+	outQ    []*mem.Request
+	outQCap int
+
+	reqCounter uint64
+	cycle      uint64
+	stats      Stats
+	appID      int
+}
+
+// New creates SM `id` belonging to `cluster`.
+func New(id, cluster int, cfg config.Config) *SM {
+	l1 := cache.New(cache.Config{
+		SizeBytes: cfg.L1SizeBytes,
+		Ways:      cfg.L1Ways,
+		LineBytes: cfg.L1LineBytes,
+		Policy:    cache.WriteThrough,
+	})
+	nSched := cfg.SchedulersPerSM
+	if nSched < 1 {
+		nSched = 1
+	}
+	current := make([]int, nSched)
+	for i := range current {
+		current[i] = -1
+	}
+	return &SM{
+		id:      id,
+		cluster: cluster,
+		cfg:     cfg,
+		l1:      l1,
+		mshrs:   cache.NewMSHRTable(cfg.L1MSHRs, 0),
+		warps:   make([]warp, cfg.MaxWarpsPerSM),
+		current: current,
+		outQCap: 8,
+	}
+}
+
+// ID returns the SM index.
+func (s *SM) ID() int { return s.id }
+
+// Cluster returns the SM's cluster index.
+func (s *SM) Cluster() int { return s.cluster }
+
+// Stats returns a snapshot of the SM statistics.
+func (s *SM) Stats() Stats { return s.stats }
+
+// ResetStats clears the statistics counters.
+func (s *SM) ResetStats() { s.stats = Stats{} }
+
+// L1 exposes the L1 data cache (for sensitivity analyses and tests).
+func (s *SM) L1() *cache.Cache { return s.l1 }
+
+// SetApp tags requests from this SM with an application identity
+// (multi-program mode).
+func (s *SM) SetApp(appID int) { s.appID = appID }
+
+// OutstandingLoads returns the number of distinct lines with outstanding
+// misses.
+func (s *SM) OutstandingLoads() int { return s.mshrs.Occupancy() }
+
+// Pending reports whether the SM has outstanding misses or unsent requests.
+func (s *SM) Pending() bool { return s.mshrs.Occupancy() > 0 || len(s.outQ) > 0 }
+
+// Tick advances the SM by one cycle, pulling instructions from prog.
+func (s *SM) Tick(cycle uint64, prog workload.Program) {
+	s.cycle = cycle
+	s.stats.Cycles++
+	for sched := range s.current {
+		s.issueOne(sched, prog)
+	}
+}
+
+// issueOne attempts to issue one instruction on behalf of scheduler `sched`.
+func (s *SM) issueOne(sched int, prog workload.Program) {
+	w := s.pickWarp(sched)
+	if w < 0 {
+		s.stats.StallNoReadyWarp++
+		return
+	}
+	s.current[sched] = w
+
+	op := s.warps[w].pending
+	if op == nil {
+		next := prog.NextOp(s.id, w)
+		op = &next
+	}
+	if !op.IsMem {
+		lat := op.ALULatency
+		if lat < 1 {
+			lat = 1
+		}
+		s.retire(w)
+		s.warps[w].readyAt = s.cycle + uint64(lat)
+		return
+	}
+	if op.Write {
+		s.issueStore(w, op)
+		return
+	}
+	s.issueLoad(w, op)
+}
+
+// pickWarp implements greedy-then-oldest selection over the warps owned by
+// scheduler `sched`.
+func (s *SM) pickWarp(sched int) int {
+	nSched := len(s.current)
+	cur := s.current[sched]
+	if cur >= 0 && s.ready(cur) {
+		return cur
+	}
+	for w := sched; w < len(s.warps); w += nSched {
+		if s.ready(w) {
+			return w
+		}
+	}
+	return -1
+}
+
+func (s *SM) ready(w int) bool {
+	return !s.warps[w].waitingMem && s.cycle >= s.warps[w].readyAt
+}
+
+func (s *SM) retire(w int) {
+	s.warps[w].pending = nil
+	s.warps[w].issued++
+	s.stats.Instructions++
+}
+
+func (s *SM) issueStore(w int, op *workload.Op) {
+	if len(s.outQ) >= s.outQCap {
+		s.warps[w].pending = op
+		s.stats.StallStructural++
+		return
+	}
+	// Write-through, no-allocate L1: update the line if present, always
+	// forward the store; the warp does not wait for completion.
+	if s.l1.Probe(op.Addr) {
+		s.l1.Access(op.Addr, cache.Write, -1)
+	}
+	s.outQ = append(s.outQ, s.newRequest(op.Addr, true, w))
+	s.retire(w)
+	s.stats.MemInstructions++
+	s.stats.Stores++
+	s.warps[w].readyAt = s.cycle + 1
+}
+
+func (s *SM) issueLoad(w int, op *workload.Op) {
+	lineAddr := s.l1.LineAddr(op.Addr)
+
+	// Merge into an outstanding miss if one exists for this line.
+	if s.mshrs.Outstanding(lineAddr) {
+		if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
+			s.warps[w].pending = op
+			s.stats.StallStructural++
+			return
+		}
+		s.blockOnLine(w, lineAddr)
+		s.retire(w)
+		s.stats.MemInstructions++
+		s.stats.Loads++
+		s.stats.L1Misses++
+		return
+	}
+
+	// A fresh miss needs both an MSHR and request-queue space; check before
+	// touching the tags so a structural stall leaves no side effects.
+	wouldMiss := !s.l1.Probe(op.Addr)
+	if wouldMiss && (!s.mshrs.CanAccept(lineAddr) || len(s.outQ) >= s.outQCap) {
+		s.warps[w].pending = op
+		s.stats.StallStructural++
+		return
+	}
+
+	res := s.l1.Access(op.Addr, cache.Read, -1)
+	s.retire(w)
+	s.stats.MemInstructions++
+	s.stats.Loads++
+	if res.Hit {
+		s.stats.L1Hits++
+		s.warps[w].readyAt = s.cycle + uint64(s.cfg.L1HitLatency)
+		return
+	}
+	s.stats.L1Misses++
+	if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
+		panic(fmt.Sprintf("sm %d: MSHR allocation failed after capacity check", s.id))
+	}
+	s.outQ = append(s.outQ, s.newRequest(lineAddr, false, w))
+	s.blockOnLine(w, lineAddr)
+}
+
+func (s *SM) blockOnLine(w int, lineAddr uint64) {
+	s.warps[w].waitingMem = true
+	s.warps[w].blockedLine = lineAddr
+}
+
+func (s *SM) newRequest(addr uint64, write bool, warpSlot int) *mem.Request {
+	s.reqCounter++
+	return &mem.Request{
+		ID:       uint64(s.id)<<40 | s.reqCounter,
+		Addr:     addr,
+		Write:    write,
+		SM:       s.id,
+		Cluster:  s.cluster,
+		Warp:     warpSlot,
+		IssuedAt: s.cycle,
+		AppID:    s.appID,
+	}
+}
+
+// PopRequest removes and returns the next outgoing memory request, if any.
+// If the caller fails to inject it into the NoC it must call UnpopRequest.
+func (s *SM) PopRequest() (*mem.Request, bool) {
+	if len(s.outQ) == 0 {
+		return nil, false
+	}
+	r := s.outQ[0]
+	copy(s.outQ, s.outQ[1:])
+	s.outQ = s.outQ[:len(s.outQ)-1]
+	return r, true
+}
+
+// UnpopRequest puts r back at the head of the outgoing queue.
+func (s *SM) UnpopRequest(r *mem.Request) {
+	s.outQ = append([]*mem.Request{r}, s.outQ...)
+}
+
+// CompleteLoad delivers a reply from the memory system: the L1 line is
+// filled (it was already reserved at miss time) and every warp waiting on
+// the line wakes up.
+func (s *SM) CompleteLoad(r mem.Reply, cycle uint64) {
+	line := s.l1.LineAddr(r.Addr)
+	s.mshrs.Complete(line)
+	s.stats.RepliesReceived++
+	woke := false
+	for w := range s.warps {
+		if s.warps[w].waitingMem && s.warps[w].blockedLine == line {
+			s.warps[w].waitingMem = false
+			s.warps[w].readyAt = cycle + 1
+			woke = true
+			s.stats.LoadsCompleted++
+			if cycle > r.IssuedAt {
+				s.stats.TotalLoadLatency += cycle - r.IssuedAt
+			}
+		}
+	}
+	if !woke {
+		// A reply can legitimately wake zero warps only if the request was
+		// purely MSHR-merged bookkeeping; treat anything else as a bug.
+		panic(fmt.Sprintf("sm %d: reply for line %#x woke no warp", s.id, line))
+	}
+}

@@ -1,0 +1,315 @@
+package sm
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// scriptProgram is a deterministic Program for tests: it returns ops from a
+// per-(sm,warp) script and ALU ops once the script is exhausted.
+type scriptProgram struct {
+	ops    map[[2]int][]workload.Op
+	kernel int
+}
+
+func (p *scriptProgram) NextOp(sm, warp int) workload.Op {
+	key := [2]int{sm, warp}
+	if list := p.ops[key]; len(list) > 0 {
+		op := list[0]
+		p.ops[key] = list[1:]
+		return op
+	}
+	return workload.Op{ALULatency: 1}
+}
+
+func (p *scriptProgram) NextKernel() { p.kernel++ }
+func (p *scriptProgram) Kernel() int { return p.kernel }
+
+// aluProgram always returns ALU ops with a given latency.
+type aluProgram struct{ lat int }
+
+func (p *aluProgram) NextOp(sm, warp int) workload.Op { return workload.Op{ALULatency: p.lat} }
+func (p *aluProgram) NextKernel()                     {}
+func (p *aluProgram) Kernel() int                     { return 0 }
+
+// loadProgram issues a load with a unique address per call.
+type loadProgram struct{ next uint64 }
+
+func (p *loadProgram) NextOp(sm, warp int) workload.Op {
+	p.next += 128
+	return workload.Op{IsMem: true, Addr: p.next}
+}
+func (p *loadProgram) NextKernel() {}
+func (p *loadProgram) Kernel() int { return 0 }
+
+func testCfg() config.Config { return config.Baseline().Normalize() }
+
+func TestALUOnlyIPC(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	prog := &aluProgram{lat: 1}
+	for cyc := uint64(1); cyc <= 1000; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	st := s.Stats()
+	// With ALU latency 1 and plenty of warps, both schedulers issue every
+	// cycle: IPC == SchedulersPerSM.
+	if ipc := st.IPC(); ipc < 1.9 || ipc > 2.01 {
+		t.Errorf("ALU-only IPC = %.2f, want ~2", ipc)
+	}
+	if st.MemInstructions != 0 {
+		t.Error("no memory instructions expected")
+	}
+}
+
+func TestALULatencyHiding(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	// Latency 4 with 64 warps and 2 schedulers: still enough warps to issue
+	// every cycle.
+	prog := &aluProgram{lat: 4}
+	for cyc := uint64(1); cyc <= 1000; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	if ipc := s.Stats().IPC(); ipc < 1.9 {
+		t.Errorf("IPC = %.2f; 64 warps should hide a 4-cycle ALU latency", ipc)
+	}
+}
+
+func TestL1HitAndMiss(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	// Warp 0: two loads to the same line; the second must not reach the
+	// memory system once the first reply has filled the L1.
+	prog := &scriptProgram{ops: map[[2]int][]workload.Op{
+		{0, 0}: {
+			{IsMem: true, Addr: 0x1000},
+			{IsMem: true, Addr: 0x1040}, // same 128-B line
+		},
+	}}
+	// Cycle 1: warp 0 issues the first load -> miss -> request.
+	s.Tick(1, prog)
+	req, ok := s.PopRequest()
+	if !ok || req.Write || req.Addr != 0x1000 {
+		t.Fatalf("expected a read request for 0x1000, got %+v ok=%v", req, ok)
+	}
+	if s.OutstandingLoads() != 1 {
+		t.Fatalf("outstanding = %d, want 1", s.OutstandingLoads())
+	}
+	// Deliver the reply at cycle 10; warp wakes at 11.
+	s.CompleteLoad(mem.Reply{ReqID: req.ID, Addr: req.Addr, SM: 0, Warp: 0, IssuedAt: 1}, 10)
+	if s.OutstandingLoads() != 0 {
+		t.Fatal("MSHR should be released")
+	}
+	// Run a few more cycles: the second load should hit in L1 and never
+	// produce a request.
+	for cyc := uint64(11); cyc <= 60; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	if _, ok := s.PopRequest(); ok {
+		t.Fatal("second load to the same line must hit in L1")
+	}
+	st := s.Stats()
+	if st.L1Hits != 1 || st.L1Misses != 1 {
+		t.Errorf("L1 hits/misses = %d/%d, want 1/1", st.L1Hits, st.L1Misses)
+	}
+	if st.LoadsCompleted != 1 || st.AvgLoadLatency() != 9 {
+		t.Errorf("loads completed = %d avg latency = %.1f, want 1 / 9", st.LoadsCompleted, st.AvgLoadLatency())
+	}
+}
+
+func TestMSHRMergingAcrossWarps(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	// Warps 0 and 2 (same scheduler partition: even slots) load the same line.
+	prog := &scriptProgram{ops: map[[2]int][]workload.Op{
+		{0, 0}: {{IsMem: true, Addr: 0x2000}},
+		{0, 2}: {{IsMem: true, Addr: 0x2000}},
+		{0, 1}: {{IsMem: true, Addr: 0x2000}},
+	}}
+	for cyc := uint64(1); cyc <= 3; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	// Only one request must leave the SM.
+	if _, ok := s.PopRequest(); !ok {
+		t.Fatal("expected one request")
+	}
+	if _, ok := s.PopRequest(); ok {
+		t.Fatal("merged loads must not generate extra requests")
+	}
+	if s.Stats().L1Misses != 3 {
+		t.Errorf("L1 misses = %d, want 3 (one primary, two merged)", s.Stats().L1Misses)
+	}
+	// One reply wakes all three warps.
+	s.CompleteLoad(mem.Reply{Addr: 0x2000, IssuedAt: 1}, 20)
+	if s.Stats().LoadsCompleted != 3 {
+		t.Errorf("loads completed = %d, want 3", s.Stats().LoadsCompleted)
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	prog := &scriptProgram{ops: map[[2]int][]workload.Op{
+		{0, 0}: {
+			{IsMem: true, Write: true, Addr: 0x3000},
+			{ALULatency: 1},
+		},
+	}}
+	s.Tick(1, prog)
+	req, ok := s.PopRequest()
+	if !ok || !req.Write {
+		t.Fatalf("expected a write request, got %+v", req)
+	}
+	// The warp must be ready again on the next cycle without any reply.
+	s.Tick(2, prog)
+	if s.Stats().Instructions < 2 {
+		t.Errorf("instructions = %d; store must not block the warp", s.Stats().Instructions)
+	}
+}
+
+func TestStructuralStallOnRequestQueue(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	prog := &loadProgram{}
+	// Never drain the out queue: after it fills (8 entries) issue stalls.
+	for cyc := uint64(1); cyc <= 200; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	st := s.Stats()
+	if st.StallStructural == 0 {
+		t.Error("expected structural stalls once the request queue fills")
+	}
+	count := 0
+	for {
+		if _, ok := s.PopRequest(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 8 {
+		t.Errorf("drained %d requests, want the queue capacity of 8", count)
+	}
+}
+
+func TestUnpopRequest(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	prog := &loadProgram{}
+	s.Tick(1, prog)
+	s.Tick(2, prog)
+	r1, ok := s.PopRequest()
+	if !ok {
+		t.Fatal("expected request")
+	}
+	s.UnpopRequest(r1)
+	r2, ok := s.PopRequest()
+	if !ok || r2.ID != r1.ID {
+		t.Error("UnpopRequest should restore ordering")
+	}
+}
+
+func TestGTOPrefersCurrentWarp(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	prog := &aluProgram{lat: 1}
+	for cyc := uint64(1); cyc <= 50; cyc++ {
+		s.Tick(cyc, prog)
+	}
+	// With ALU latency 1, the greedy warp (slot 0 for scheduler 0, slot 1
+	// for scheduler 1) is always ready again next cycle, so only two warps
+	// should have issued anything.
+	issuedWarps := 0
+	for w := range s.warps {
+		if s.warps[w].issued > 0 {
+			issuedWarps++
+		}
+	}
+	if issuedWarps != len(s.current) {
+		t.Errorf("%d warps issued, want %d (greedy scheduling)", issuedWarps, len(s.current))
+	}
+}
+
+func TestCompleteLoadUnknownLinePanics(t *testing.T) {
+	cfg := testCfg()
+	s := New(0, 0, cfg)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for reply that wakes no warp")
+		}
+	}()
+	s.CompleteLoad(mem.Reply{Addr: 0x9000}, 5)
+}
+
+func TestRequestMetadata(t *testing.T) {
+	cfg := testCfg()
+	s := New(13, 1, cfg)
+	s.SetApp(2)
+	prog := &loadProgram{}
+	s.Tick(1, prog)
+	r, ok := s.PopRequest()
+	if !ok {
+		t.Fatal("expected request")
+	}
+	if r.SM != 13 || r.Cluster != 1 || r.AppID != 2 {
+		t.Errorf("request metadata = SM %d cluster %d app %d, want 13/1/2", r.SM, r.Cluster, r.AppID)
+	}
+	if r.IssuedAt != 1 {
+		t.Errorf("IssuedAt = %d, want 1", r.IssuedAt)
+	}
+	if s.ID() != 13 || s.Cluster() != 1 {
+		t.Error("identity accessors mismatch")
+	}
+}
+
+func TestStatsAddAndRates(t *testing.T) {
+	a := Stats{Cycles: 100, Instructions: 150, L1Hits: 30, L1Misses: 10, TotalLoadLatency: 500, LoadsCompleted: 10}
+	b := Stats{Cycles: 100, Instructions: 50}
+	a.Add(b)
+	if a.Cycles != 200 || a.Instructions != 200 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.IPC() != 1.0 {
+		t.Errorf("IPC = %v", a.IPC())
+	}
+	if a.L1MissRate() != 0.25 {
+		t.Errorf("L1MissRate = %v", a.L1MissRate())
+	}
+	if a.AvgLoadLatency() != 50 {
+		t.Errorf("AvgLoadLatency = %v", a.AvgLoadLatency())
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.L1MissRate() != 0 || zero.AvgLoadLatency() != 0 {
+		t.Error("zero stats should report zero rates")
+	}
+}
+
+func TestIntegrationWithWorkloadGenerator(t *testing.T) {
+	cfg := testCfg()
+	spec, _ := workload.ByAbbr("VA")
+	gen := workload.MustNewGenerator(spec, cfg, 1)
+	s := New(0, 0, cfg)
+	for cyc := uint64(1); cyc <= 2000; cyc++ {
+		s.Tick(cyc, gen)
+		// Drain requests and immediately answer reads to keep warps moving.
+		for {
+			r, ok := s.PopRequest()
+			if !ok {
+				break
+			}
+			if !r.Write {
+				s.CompleteLoad(mem.Reply{ReqID: r.ID, Addr: r.Addr, SM: r.SM, Warp: r.Warp, IssuedAt: r.IssuedAt}, cyc+1)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Instructions == 0 || st.MemInstructions == 0 {
+		t.Fatalf("SM made no progress: %+v", st)
+	}
+	if st.IPC() < 0.5 {
+		t.Errorf("IPC = %.2f with an ideal memory system; expected near issue limit", st.IPC())
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// MultiProgram co-executes several benchmarks on one GPU for the
+// multi-program evaluation (paper §6.3, Figure 15). SMs are divided within
+// each cluster so that every application runs on a share of every cluster,
+// which lets every application reach the entire LLC capacity while the
+// cluster-level load stays balanced — the mapping recommended by the paper
+// (Figure 9).
+type MultiProgram struct {
+	gens  []*Generator
+	smApp []int // application index for each SM
+}
+
+// NewMultiProgram builds a co-execution of the given specs. The SMs of each
+// cluster are split evenly (in catalog order) between the applications.
+func NewMultiProgram(specs []Spec, cfg config.Config, seed int64) (*MultiProgram, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: multi-program needs at least one spec")
+	}
+	smsPerCluster := cfg.SMsPerCluster()
+	if smsPerCluster < len(specs) {
+		return nil, fmt.Errorf("workload: %d apps need at least %d SMs per cluster, have %d",
+			len(specs), len(specs), smsPerCluster)
+	}
+	m := &MultiProgram{smApp: make([]int, cfg.NumSMs)}
+	for i, spec := range specs {
+		g, err := NewGenerator(spec, cfg, seed+int64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		g.SetApp(i)
+		m.gens = append(m.gens, g)
+	}
+	// Within each cluster, SM j runs application j*len(specs)/smsPerCluster.
+	for sm := 0; sm < cfg.NumSMs; sm++ {
+		local := sm % smsPerCluster
+		app := local * len(specs) / smsPerCluster
+		if app >= len(specs) {
+			app = len(specs) - 1
+		}
+		m.smApp[sm] = app
+	}
+	return m, nil
+}
+
+// NextOp implements Program.
+func (m *MultiProgram) NextOp(sm, warpSlot int) Op {
+	return m.gens[m.smApp[sm]].NextOp(sm, warpSlot)
+}
+
+// NextKernel implements Program.
+func (m *MultiProgram) NextKernel() {
+	for _, g := range m.gens {
+		g.NextKernel()
+	}
+}
+
+// Kernel implements Program.
+func (m *MultiProgram) Kernel() int { return m.gens[0].Kernel() }
+
+// AppOf returns the application index running on the given SM.
+func (m *MultiProgram) AppOf(sm int) int { return m.smApp[sm] }
+
+// Apps returns the number of co-executing applications.
+func (m *MultiProgram) Apps() int { return len(m.gens) }
+
+// Generator returns the per-application generator (for statistics).
+func (m *MultiProgram) Generator(app int) *Generator { return m.gens[app] }
