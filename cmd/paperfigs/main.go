@@ -1,10 +1,17 @@
 // Command paperfigs regenerates the tables and figures of the paper's
 // evaluation section on the simulated GPU and prints them as text tables.
 //
+// Each figure decomposes into independent simulation runs, which the
+// internal/sweep engine fans across a worker pool: -parallel uses every CPU
+// core, -workers pins an exact pool size, and the default is serial
+// execution. Per-run seeding makes parallel output byte-identical to serial
+// output, so parallelism only changes the reported wall-clock time.
+//
 // Examples:
 //
 //	paperfigs -figure all
-//	paperfigs -figure 11
+//	paperfigs -figure all -parallel
+//	paperfigs -figures 11,12,13 -workers 4
 //	paperfigs -figure 7 -cycles 40000
 //	paperfigs -figure tables
 package main
@@ -13,20 +20,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		figureFlag = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
-		cyclesFlag = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
-		warmupFlag = flag.Uint64("warmup", 0, "override warm-up cycles per run (0 = default)")
-		seedFlag   = flag.Int64("seed", 1, "workload generator seed")
-		quickFlag  = flag.Bool("quick", false, "use the reduced quick-run scale")
+		figureFlag   = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
+		figuresFlag  = flag.String("figures", "", "comma-separated list of figures to regenerate (overrides -figure)")
+		cyclesFlag   = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
+		warmupFlag   = flag.Uint64("warmup", 0, "override warm-up cycles per run (0 = default)")
+		seedFlag     = flag.Int64("seed", 1, "workload generator seed")
+		quickFlag    = flag.Bool("quick", false, "use the reduced quick-run scale")
+		parallelFlag = flag.Bool("parallel", false, "fan each figure's runs across all CPU cores")
+		workersFlag  = flag.Int("workers", 0, "exact worker-pool size (implies -parallel; 0 = serial unless -parallel)")
+		progressFlag = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
 	)
 	flag.Parse()
+
+	// In-place \r progress lines garble captured logs, so unless -progress
+	// was set explicitly, emit them only when stderr is a terminal.
+	progressSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "progress" {
+			progressSet = true
+		}
+	})
+	showProgress := *progressFlag
+	if !progressSet {
+		st, err := os.Stderr.Stat()
+		showProgress = err == nil && st.Mode()&os.ModeCharDevice != 0
+	}
 
 	opt := exp.DefaultOptions()
 	if *quickFlag {
@@ -39,6 +67,24 @@ func main() {
 		opt.WarmupCycles = *warmupFlag
 	}
 	opt.Seed = *seedFlag
+
+	workers := 1
+	if *parallelFlag {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if *workersFlag > 0 {
+		workers = *workersFlag
+	}
+	opt.Workers = workers
+
+	if showProgress {
+		opt.Progress = func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "\r  [%3d/%3d] %-40s", p.Done, p.Total, p.Key)
+			if p.Done == p.Total {
+				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
+			}
+		}
+	}
 
 	type job struct {
 		name string
@@ -62,21 +108,48 @@ func main() {
 	if *figureFlag == "all" {
 		selected = order
 	}
+	if *figuresFlag != "" {
+		selected = nil
+		for _, key := range strings.Split(*figuresFlag, ",") {
+			if key = strings.TrimSpace(key); key != "" {
+				selected = append(selected, key)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "paperfigs: -figures %q selects no figures\n", *figuresFlag)
+			os.Exit(1)
+		}
+	}
+	// Validate the whole selection before simulating anything: a typo at the
+	// end of the list must not cost the runtime of the figures before it.
 	for _, key := range selected {
-		j, ok := jobs[key]
-		if !ok {
+		if _, ok := jobs[key]; !ok {
 			fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", key)
 			os.Exit(1)
 		}
+	}
+
+	totalStart := time.Now()
+	for _, key := range selected {
+		j := jobs[key]
 		start := time.Now()
 		out, err := j.run()
 		if err != nil {
+			if showProgress {
+				// An aborted sweep leaves the in-place progress line behind.
+				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
+			}
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", j.name, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(start).Seconds())
 	}
+	mode := "serial"
+	if workers > 1 {
+		mode = fmt.Sprintf("%d workers", workers)
+	}
+	fmt.Printf("[total: %.1fs, %s]\n", time.Since(totalStart).Seconds(), mode)
 }
 
 type formatter interface{ Format() string }

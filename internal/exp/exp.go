@@ -10,16 +10,29 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
-// Options controls the scale of the experiments.
+// Options controls the scale and the execution strategy of the experiments.
+//
+// Scaling vs. the paper: the paper simulates billion-instruction benchmark
+// traces with a 50K-cycle profiling window and 1M-cycle epochs for the
+// adaptive controller. This harness runs synthetic workloads for tens of
+// thousands of cycles, so ProfileWindowCycles is scaled down proportionally
+// (2K at the default 60K-cycle measurement) while EpochCycles stays at the
+// paper's 1M — at harness scale an epoch therefore never expires mid-run and
+// adaptation is driven by the profiling window and kernel boundaries, which
+// is the regime the paper's figures probe. Scaling MeasureCycles up (e.g.
+// via paperfigs -cycles) moves the harness closer to the paper's operating
+// point at a linear cost in wall-clock time.
 type Options struct {
 	// MeasureCycles is the number of simulated cycles per run after warm-up.
 	MeasureCycles uint64
@@ -29,9 +42,18 @@ type Options struct {
 	Seed int64
 	// ProfileWindowCycles and EpochCycles configure the adaptive controller;
 	// they are scaled down together with the shortened simulations (the
-	// paper uses 50K/1M on billion-instruction runs).
+	// paper uses 50K/1M on billion-instruction runs; see the Options doc).
 	ProfileWindowCycles int
 	EpochCycles         int
+
+	// Workers is the number of parallel simulation workers the figure
+	// harness fans independent runs across: 0 uses GOMAXPROCS, 1 forces
+	// serial execution. Per-run seeding makes parallel results identical to
+	// serial ones, so this only affects wall-clock time.
+	Workers int
+	// Progress, when non-nil, is called after every completed run of a
+	// figure's sweep (used by paperfigs for progress reporting).
+	Progress func(sweep.Progress)
 }
 
 // DefaultOptions returns the scale used by the committed experiment results.
@@ -62,21 +84,55 @@ func (o Options) baseConfig(mode config.LLCMode) config.Config {
 	return cfg
 }
 
+// runSpec builds the declarative sweep unit for one or more co-running
+// workloads on the given configuration.
+func (o Options) runSpec(key string, cfg config.Config, specs ...workload.Spec) sweep.RunSpec {
+	return sweep.RunSpec{
+		Key:           key,
+		Workloads:     specs,
+		Config:        cfg,
+		Seed:          o.Seed,
+		MeasureCycles: o.MeasureCycles,
+		WarmupCycles:  o.WarmupCycles,
+	}
+}
+
+// modeSpec builds the sweep unit for one workload on a plain baseline
+// configuration with the given LLC mode, keyed "<abbr>/<mode>".
+func (o Options) modeSpec(w workload.Spec, mode config.LLCMode) sweep.RunSpec {
+	return o.runSpec(modeKey(w.Abbr, mode), o.baseConfig(mode), w)
+}
+
+// modeKey is the result key used by the per-mode figure sweeps.
+func modeKey(abbr string, mode config.LLCMode) string {
+	return abbr + "/" + mode.String()
+}
+
+// runAll executes a figure's declared runs with the configured parallelism
+// and returns the statistics keyed by RunSpec.Key. This is the single
+// execution path shared by every figure: declare []RunSpec, runAll, collect.
+func (o Options) runAll(specs []sweep.RunSpec) (map[string]gpu.RunStats, error) {
+	r := &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress}
+	results, err := r.Run(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	stats := make(map[string]gpu.RunStats, len(results))
+	for _, res := range results {
+		if _, dup := stats[res.Key]; dup {
+			// A key collision would silently overwrite one run's statistics
+			// with another's and render plausible but wrong figures.
+			return nil, fmt.Errorf("exp: duplicate run key %q", res.Key)
+		}
+		stats[res.Key] = res.Stats
+	}
+	return stats, nil
+}
+
 // Run executes one benchmark on one configuration and returns the run
-// statistics. It is the building block used by every figure.
+// statistics. It is the serial building block underlying every figure.
 func (o Options) Run(spec workload.Spec, cfg config.Config) (gpu.RunStats, error) {
-	gen, err := workload.NewGenerator(spec, cfg, o.Seed)
-	if err != nil {
-		return gpu.RunStats{}, err
-	}
-	g, err := gpu.New(cfg, gen)
-	if err != nil {
-		return gpu.RunStats{}, err
-	}
-	if o.WarmupCycles > 0 {
-		g.Warmup(o.WarmupCycles)
-	}
-	return g.Run(o.MeasureCycles, spec.Kernels), nil
+	return sweep.Execute(o.runSpec(spec.Abbr, cfg, spec))
 }
 
 // RunMode is a convenience wrapper around Run for a plain baseline

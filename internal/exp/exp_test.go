@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -108,6 +109,31 @@ func TestFigure12And13Structure(t *testing.T) {
 	}
 	if !strings.Contains(f13.Format(), "miss rate") {
 		t.Error("Figure 13 format missing title")
+	}
+}
+
+// TestFigureParallelDeterminism checks the figure harness end to end on the
+// sweep engine: the same figure regenerated serially and with a worker pool
+// must produce identical rows and aggregates.
+func TestFigureParallelDeterminism(t *testing.T) {
+	serial := tinyOptions()
+	serial.Workers = 1
+	parallel := tinyOptions()
+	parallel.Workers = 4
+
+	a, err := Figure12(serial)
+	if err != nil {
+		t.Fatalf("serial Figure12: %v", err)
+	}
+	b, err := Figure12(parallel)
+	if err != nil {
+		t.Fatalf("parallel Figure12: %v", err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Errorf("parallel Figure12 rows differ from serial:\nserial:   %+v\nparallel: %+v", a.Rows, b.Rows)
+	}
+	if a.HM != b.HM {
+		t.Errorf("parallel Figure12 HM differs: serial %+v, parallel %+v", a.HM, b.HM)
 	}
 }
 

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -32,34 +32,66 @@ type Figure15Result struct {
 	Options    Options
 }
 
-// Figure15 evaluates all shared-friendly x private-friendly two-program
-// combinations.
-func Figure15(o Options) (*Figure15Result, error) {
-	res := &Figure15Result{Options: o}
+// pairKey identifies one co-execution run inside Figure 15's sweep.
+func pairKey(sharedAbbr, privAbbr, variant string) string {
+	return "pair/" + sharedAbbr + "+" + privAbbr + "/" + variant
+}
 
-	// Single-program (alone) IPC under a shared LLC is the STP baseline.
-	aloneIPC := map[string]float64{}
-	for _, spec := range workload.Catalog() {
-		if spec.Class == workload.Neutral {
+// pairSpec declares the co-execution of a shared-friendly and a
+// private-friendly application. With adaptive=true the shared-friendly
+// application keeps a shared LLC view while the private-friendly one gets a
+// private view (the paper's adaptive multi-program configuration); otherwise
+// both use the shared LLC.
+func (o Options) pairSpec(sharedSpec, privSpec workload.Spec, adaptive bool) sweep.RunSpec {
+	variant := "shared"
+	s := o.runSpec("", o.baseConfig(config.LLCShared), sharedSpec, privSpec)
+	if adaptive {
+		variant = "adaptive"
+		s.AppModes = []config.LLCMode{config.LLCShared, config.LLCPrivate}
+	}
+	s.Key = pairKey(sharedSpec.Abbr, privSpec.Abbr, variant)
+	return s
+}
+
+// Figure15 evaluates all shared-friendly x private-friendly two-program
+// combinations. The single-program "alone" baselines and all pair runs are
+// independent, so the whole figure is declared as one sweep; the STP
+// arithmetic happens at collection time.
+func Figure15(o Options) (*Figure15Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.Catalog() {
+		if w.Class == workload.Neutral {
 			continue
 		}
-		rs, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure15 alone %s: %w", spec.Abbr, err)
+		specs = append(specs, o.runSpec("alone/"+w.Abbr, o.baseConfig(config.LLCShared), w))
+	}
+	for _, sharedSpec := range workload.ByClass(workload.SharedFriendly) {
+		for _, privSpec := range workload.ByClass(workload.PrivateFriendly) {
+			specs = append(specs,
+				o.pairSpec(sharedSpec, privSpec, false),
+				o.pairSpec(sharedSpec, privSpec, true))
 		}
-		aloneIPC[spec.Abbr] = rs.IPC
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure15: %w", err)
 	}
 
+	res := &Figure15Result{Options: o}
 	var sum float64
 	for _, sharedSpec := range workload.ByClass(workload.SharedFriendly) {
 		for _, privSpec := range workload.ByClass(workload.PrivateFriendly) {
-			sharedSTP, err := o.runPair(sharedSpec, privSpec, false, aloneIPC)
-			if err != nil {
-				return nil, err
+			alone := []float64{
+				stats["alone/"+sharedSpec.Abbr].IPC,
+				stats["alone/"+privSpec.Abbr].IPC,
 			}
-			adaptiveSTP, err := o.runPair(sharedSpec, privSpec, true, aloneIPC)
+			sharedSTP, err := metrics.STP(stats[pairKey(sharedSpec.Abbr, privSpec.Abbr, "shared")].AppIPC, alone)
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
+			}
+			adaptiveSTP, err := metrics.STP(stats[pairKey(sharedSpec.Abbr, privSpec.Abbr, "adaptive")].AppIPC, alone)
+			if err != nil {
+				return nil, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
 			}
 			row := Figure15Row{
 				SharedApp:   sharedSpec.Abbr,
@@ -76,40 +108,6 @@ func Figure15(o Options) (*Figure15Result, error) {
 		res.AvgSpeedup = sum / float64(len(res.Rows))
 	}
 	return res, nil
-}
-
-// runPair co-executes two applications and returns the system throughput.
-// With perAppModes, the shared-friendly application keeps a shared LLC view
-// while the private-friendly one gets a private view (the paper's adaptive
-// multi-program configuration); otherwise both use the shared LLC.
-func (o Options) runPair(sharedSpec, privSpec workload.Spec, perAppModes bool, aloneIPC map[string]float64) (float64, error) {
-	cfg := o.baseConfig(config.LLCShared)
-	mp, err := workload.NewMultiProgram([]workload.Spec{sharedSpec, privSpec}, cfg, o.Seed)
-	if err != nil {
-		return 0, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
-	}
-	g, err := gpu.New(cfg, mp)
-	if err != nil {
-		return 0, fmt.Errorf("figure15 pair %s+%s: %w", sharedSpec.Abbr, privSpec.Abbr, err)
-	}
-	if perAppModes {
-		if err := g.SetAppModes([]config.LLCMode{config.LLCShared, config.LLCPrivate}); err != nil {
-			return 0, err
-		}
-	}
-	if o.WarmupCycles > 0 {
-		g.Warmup(o.WarmupCycles)
-	}
-	kernels := sharedSpec.Kernels
-	if privSpec.Kernels > kernels {
-		kernels = privSpec.Kernels
-	}
-	rs := g.Run(o.MeasureCycles, kernels)
-	stp, err := metrics.STP(rs.AppIPC, []float64{aloneIPC[sharedSpec.Abbr], aloneIPC[privSpec.Abbr]})
-	if err != nil {
-		return 0, err
-	}
-	return stp, nil
 }
 
 // Format renders the figure as a table, sorted by adaptive STP.
@@ -155,18 +153,20 @@ func figure16Workloads() []workload.Spec {
 	return workload.ByClass(workload.PrivateFriendly)
 }
 
-// Figure16 sweeps address mapping, NoC channel width, SM count, L1 size and
-// CTA scheduling policy, reporting the adaptive LLC's average speedup over
-// the shared LLC for each design point.
-func Figure16(o Options) (*Figure16Result, error) {
-	res := &Figure16Result{Options: o}
+// figure16Variant is one design point of the sensitivity study.
+type figure16Variant struct {
+	category string
+	point    string
+	mutate   func(*config.Config)
+}
 
-	type variant struct {
-		category string
-		point    string
-		mutate   func(*config.Config)
-	}
-	variants := []variant{
+// key identifies one run of the sensitivity sweep.
+func (v figure16Variant) key(abbr string, mode config.LLCMode) string {
+	return v.category + "/" + v.point + "/" + modeKey(abbr, mode)
+}
+
+func figure16Variants() []figure16Variant {
+	return []figure16Variant{
 		{"address mapping", "PAE", func(c *config.Config) { c.Mapping = config.MappingPAE }},
 		{"address mapping", "Hynix", func(c *config.Config) { c.Mapping = config.MappingHynix }},
 		{"channel width", "64B", func(c *config.Config) { c.ChannelBytes = 64 }},
@@ -183,23 +183,34 @@ func Figure16(o Options) (*Figure16Result, error) {
 		{"CTA scheduling", "BCS", func(c *config.Config) { c.CTAScheduler = config.CTABlock }},
 		{"CTA scheduling", "DCS", func(c *config.Config) { c.CTAScheduler = config.CTADistributed }},
 	}
+}
 
-	for _, v := range variants {
-		sharedCfg := o.baseConfig(config.LLCShared)
-		v.mutate(&sharedCfg)
-		adaptiveCfg := o.baseConfig(config.LLCAdaptive)
-		v.mutate(&adaptiveCfg)
+// Figure16 sweeps address mapping, NoC channel width, SM count, L1 size and
+// CTA scheduling policy, reporting the adaptive LLC's average speedup over
+// the shared LLC for each design point. All 15 variants x 5 workloads x 2
+// organizations (150 runs) execute as a single parallel sweep.
+func Figure16(o Options) (*Figure16Result, error) {
+	var specs []sweep.RunSpec
+	for _, v := range figure16Variants() {
+		for _, mode := range []config.LLCMode{config.LLCShared, config.LLCAdaptive} {
+			cfg := o.baseConfig(mode)
+			v.mutate(&cfg)
+			for _, w := range figure16Workloads() {
+				specs = append(specs, o.runSpec(v.key(w.Abbr, mode), cfg, w))
+			}
+		}
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure16: %w", err)
+	}
 
+	res := &Figure16Result{Options: o}
+	for _, v := range figure16Variants() {
 		var ratios []float64
-		for _, spec := range figure16Workloads() {
-			shared, err := o.Run(spec, sharedCfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure16 %s/%s %s shared: %w", v.category, v.point, spec.Abbr, err)
-			}
-			adaptive, err := o.Run(spec, adaptiveCfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure16 %s/%s %s adaptive: %w", v.category, v.point, spec.Abbr, err)
-			}
+		for _, w := range figure16Workloads() {
+			shared := stats[v.key(w.Abbr, config.LLCShared)]
+			adaptive := stats[v.key(w.Abbr, config.LLCAdaptive)]
 			ratios = append(ratios, norm(adaptive.IPC, shared.IPC))
 		}
 		res.Rows = append(res.Rows, Figure16Row{

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/noc"
 	"repro/internal/power"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -22,6 +23,23 @@ type nocDesignPoint struct {
 	Topology      config.NoCTopology
 	ChannelBytes  int
 	Concentration int
+}
+
+// key identifies the design point inside the figure's sweep (Name alone is
+// not unique: the H-Xbar appears in every bandwidth group).
+func (dp nocDesignPoint) key(abbr string) string {
+	return dp.Group + "/" + dp.Name + "/" + abbr
+}
+
+// config applies the design point to a baseline shared-LLC configuration.
+func (dp nocDesignPoint) config(o Options) config.Config {
+	cfg := o.baseConfig(config.LLCShared)
+	cfg.NoC = dp.Topology
+	cfg.ChannelBytes = dp.ChannelBytes
+	if dp.Concentration > 0 {
+		cfg.Concentration = dp.Concentration
+	}
+	return cfg
 }
 
 // figure7DesignPoints mirrors the pairing used in the paper: the full
@@ -64,8 +82,25 @@ func figure7Workloads() []string { return []string{"MM", "GEMM", "VA", "NN"} }
 
 // Figure7 explores the crossbar design space: performance from timing
 // simulation, area and power from the DSENT-style model fed with the
-// simulated activity factors.
+// simulated activity factors. All 8 design points x 4 benchmarks run as one
+// parallel sweep; the power models are evaluated at collection time.
 func Figure7(o Options) (*Figure7Result, error) {
+	var specs []sweep.RunSpec
+	for _, dp := range figure7DesignPoints() {
+		cfg := dp.config(o)
+		for _, abbr := range figure7Workloads() {
+			w, ok := workload.ByAbbr(abbr)
+			if !ok {
+				return nil, fmt.Errorf("figure7: unknown benchmark %s", abbr)
+			}
+			specs = append(specs, o.runSpec(dp.key(abbr), cfg, w))
+		}
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure7: %w", err)
+	}
+
 	res := &Figure7Result{Options: o}
 	type measured struct {
 		ipc    float64
@@ -73,31 +108,16 @@ func Figure7(o Options) (*Figure7Result, error) {
 		area   power.Breakdown
 	}
 	var baseline *measured
-
 	for _, dp := range figure7DesignPoints() {
-		cfg := o.baseConfig(config.LLCShared)
-		cfg.NoC = dp.Topology
-		cfg.ChannelBytes = dp.ChannelBytes
-		if dp.Concentration > 0 {
-			cfg.Concentration = dp.Concentration
-		}
-		design, err := power.NewNoCDesign(cfg)
+		design, err := power.NewNoCDesign(dp.config(o))
 		if err != nil {
 			return nil, fmt.Errorf("figure7 %s: %w", dp.Name, err)
 		}
-
 		var ipcSum float64
 		var activity noc.Stats
 		var cycles uint64
 		for _, abbr := range figure7Workloads() {
-			spec, ok := workload.ByAbbr(abbr)
-			if !ok {
-				return nil, fmt.Errorf("figure7: unknown benchmark %s", abbr)
-			}
-			rs, err := o.Run(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure7 %s %s: %w", dp.Name, abbr, err)
-			}
+			rs := stats[dp.key(abbr)]
 			ipcSum += rs.IPC
 			activity.Add(rs.NoC)
 			cycles += rs.Cycles
@@ -174,31 +194,35 @@ type Figure14Result struct {
 // Figure14 compares NoC and total system energy between the shared baseline
 // and the adaptive LLC.
 func Figure14(o Options) (*Figure14Result, error) {
-	res := &Figure14Result{Options: o}
-	cfg := o.baseConfig(config.LLCShared)
-	model, err := power.NewSystemModel(cfg)
+	model, err := power.NewSystemModel(o.baseConfig(config.LLCShared))
 	if err != nil {
 		return nil, err
 	}
 	design := model.NoCDesign()
 
-	specs := append(workload.ByClass(workload.PrivateFriendly), workload.ByClass(workload.Neutral)...)
+	workloads := append(workload.ByClass(workload.PrivateFriendly), workload.ByClass(workload.Neutral)...)
+	var specs []sweep.RunSpec
+	for _, w := range workloads {
+		specs = append(specs,
+			o.modeSpec(w, config.LLCShared),
+			o.modeSpec(w, config.LLCAdaptive))
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure14: %w", err)
+	}
+
+	res := &Figure14Result{Options: o}
 	var sumNoC, sumSys float64
-	for _, spec := range specs {
-		shared, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure14 %s: %w", spec.Abbr, err)
-		}
-		adaptive, err := o.RunMode(spec, config.LLCAdaptive)
-		if err != nil {
-			return nil, fmt.Errorf("figure14 %s: %w", spec.Abbr, err)
-		}
+	for _, w := range workloads {
+		shared := stats[modeKey(w.Abbr, config.LLCShared)]
+		adaptive := stats[modeKey(w.Abbr, config.LLCAdaptive)]
 		sharedNoC := design.Energy(shared.NoC, shared.Cycles, 0)
 		adaptiveNoC := design.Energy(adaptive.NoC, adaptive.Cycles, adaptive.GatedFraction)
 		sharedSys := model.Energy(systemActivity(shared))
 		adaptiveSys := model.Energy(systemActivity(adaptive))
 		row := Figure14Row{
-			Abbr: spec.Abbr, Class: spec.Class,
+			Abbr: w.Abbr, Class: w.Class,
 			SharedNoCEnergy: sharedNoC, AdaptiveNoCEnergy: adaptiveNoC,
 			NormalizedNoC:        norm(adaptiveNoC.Total(), sharedNoC.Total()),
 			SharedSystemEnergy:   sharedSys,

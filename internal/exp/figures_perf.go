@@ -5,8 +5,14 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// The figures in this file follow the harness's declarative pattern: declare
+// every independent run as a sweep.RunSpec, execute the batch through
+// Options.runAll (parallel across Options.Workers), then collect rows from
+// the keyed statistics in catalog order.
 
 // ---------------------------------------------------------------------------
 // Figure 2 — shared vs. private LLC, per workload class
@@ -31,26 +37,31 @@ type Figure2Result struct {
 
 // Figure2 runs every benchmark under a shared and a private LLC.
 func Figure2(o Options) (*Figure2Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.Catalog() {
+		specs = append(specs,
+			o.modeSpec(w, config.LLCShared),
+			o.modeSpec(w, config.LLCPrivate))
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure2: %w", err)
+	}
+
 	res := &Figure2Result{ClassHM: map[workload.Class]float64{}, Options: o}
 	perClass := map[workload.Class][]float64{}
-	for _, spec := range workload.Catalog() {
-		shared, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure2 %s shared: %w", spec.Abbr, err)
-		}
-		private, err := o.RunMode(spec, config.LLCPrivate)
-		if err != nil {
-			return nil, fmt.Errorf("figure2 %s private: %w", spec.Abbr, err)
-		}
+	for _, w := range workload.Catalog() {
+		shared := stats[modeKey(w.Abbr, config.LLCShared)]
+		private := stats[modeKey(w.Abbr, config.LLCPrivate)]
 		row := Figure2Row{
-			Abbr:              spec.Abbr,
-			Class:             spec.Class,
+			Abbr:              w.Abbr,
+			Class:             w.Class,
 			SharedIPC:         shared.IPC,
 			PrivateIPC:        private.IPC,
 			NormalizedPrivate: norm(private.IPC, shared.IPC),
 		}
 		res.Rows = append(res.Rows, row)
-		perClass[spec.Class] = append(perClass[spec.Class], row.NormalizedPrivate)
+		perClass[w.Class] = append(perClass[w.Class], row.NormalizedPrivate)
 	}
 	for c, vals := range perClass {
 		res.ClassHM[c] = hmean(vals)
@@ -99,19 +110,25 @@ type Figure3Result struct {
 
 // Figure3 measures inter-cluster locality under a shared LLC.
 func Figure3(o Options) (*Figure3Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.Catalog() {
+		specs = append(specs, o.modeSpec(w, config.LLCShared))
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure3: %w", err)
+	}
+
 	res := &Figure3Result{MultiClusterByClass: map[workload.Class]float64{}, Options: o}
 	sums := map[workload.Class]float64{}
 	counts := map[workload.Class]int{}
-	for _, spec := range workload.Catalog() {
-		rs, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure3 %s: %w", spec.Abbr, err)
-		}
-		row := Figure3Row{Abbr: spec.Abbr, Class: spec.Class, Histogram: rs.SharingHistogram}
+	for _, w := range workload.Catalog() {
+		rs := stats[modeKey(w.Abbr, config.LLCShared)]
+		row := Figure3Row{Abbr: w.Abbr, Class: w.Class, Histogram: rs.SharingHistogram}
 		res.Rows = append(res.Rows, row)
 		multi := row.Histogram[1] + row.Histogram[2] + row.Histogram[3]
-		sums[spec.Class] += multi
-		counts[spec.Class]++
+		sums[w.Class] += multi
+		counts[w.Class]++
 	}
 	for c, s := range sums {
 		res.MultiClusterByClass[c] = s / float64(counts[c])
@@ -144,6 +161,9 @@ func (r *Figure3Result) Format() string {
 // Figure 11 — shared / private / adaptive performance
 // ---------------------------------------------------------------------------
 
+// allModes lists the three LLC organizations the performance figures sweep.
+var allModes = []config.LLCMode{config.LLCShared, config.LLCPrivate, config.LLCAdaptive}
+
 // Figure11Row is the per-benchmark IPC under the three LLC organizations,
 // normalized to the shared LLC.
 type Figure11Row struct {
@@ -166,31 +186,33 @@ type Figure11Result struct {
 
 // Figure11 runs every benchmark under shared, private and adaptive LLCs.
 func Figure11(o Options) (*Figure11Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.Catalog() {
+		for _, mode := range allModes {
+			specs = append(specs, o.modeSpec(w, mode))
+		}
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure11: %w", err)
+	}
+
 	res := &Figure11Result{HM: map[workload.Class]struct{ Private, Adaptive float64 }{}, Options: o}
 	perClassPriv := map[workload.Class][]float64{}
 	perClassAdap := map[workload.Class][]float64{}
-	for _, spec := range workload.Catalog() {
-		shared, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure11 %s shared: %w", spec.Abbr, err)
-		}
-		private, err := o.RunMode(spec, config.LLCPrivate)
-		if err != nil {
-			return nil, fmt.Errorf("figure11 %s private: %w", spec.Abbr, err)
-		}
-		adaptive, err := o.RunMode(spec, config.LLCAdaptive)
-		if err != nil {
-			return nil, fmt.Errorf("figure11 %s adaptive: %w", spec.Abbr, err)
-		}
+	for _, w := range workload.Catalog() {
+		shared := stats[modeKey(w.Abbr, config.LLCShared)]
+		private := stats[modeKey(w.Abbr, config.LLCPrivate)]
+		adaptive := stats[modeKey(w.Abbr, config.LLCAdaptive)]
 		row := Figure11Row{
-			Abbr: spec.Abbr, Class: spec.Class,
+			Abbr: w.Abbr, Class: w.Class,
 			Shared: shared, Private: private, Adaptive: adaptive,
 			NormPrivate:  norm(private.IPC, shared.IPC),
 			NormAdaptive: norm(adaptive.IPC, shared.IPC),
 		}
 		res.Rows = append(res.Rows, row)
-		perClassPriv[spec.Class] = append(perClassPriv[spec.Class], row.NormPrivate)
-		perClassAdap[spec.Class] = append(perClassAdap[spec.Class], row.NormAdaptive)
+		perClassPriv[w.Class] = append(perClassPriv[w.Class], row.NormPrivate)
+		perClassAdap[w.Class] = append(perClassAdap[w.Class], row.NormAdaptive)
 	}
 	for c := range perClassPriv {
 		res.HM[c] = struct{ Private, Adaptive float64 }{
@@ -245,23 +267,25 @@ type Figure12Result struct {
 
 // Figure12 measures the LLC response rate for the private-friendly class.
 func Figure12(o Options) (*Figure12Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.ByClass(workload.PrivateFriendly) {
+		for _, mode := range allModes {
+			specs = append(specs, o.modeSpec(w, mode))
+		}
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure12: %w", err)
+	}
+
 	res := &Figure12Result{Options: o}
 	var sh, pr, ad []float64
-	for _, spec := range workload.ByClass(workload.PrivateFriendly) {
-		shared, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure12 %s: %w", spec.Abbr, err)
-		}
-		private, err := o.RunMode(spec, config.LLCPrivate)
-		if err != nil {
-			return nil, fmt.Errorf("figure12 %s: %w", spec.Abbr, err)
-		}
-		adaptive, err := o.RunMode(spec, config.LLCAdaptive)
-		if err != nil {
-			return nil, fmt.Errorf("figure12 %s: %w", spec.Abbr, err)
-		}
+	for _, w := range workload.ByClass(workload.PrivateFriendly) {
+		shared := stats[modeKey(w.Abbr, config.LLCShared)]
+		private := stats[modeKey(w.Abbr, config.LLCPrivate)]
+		adaptive := stats[modeKey(w.Abbr, config.LLCAdaptive)]
 		res.Rows = append(res.Rows, Figure12Row{
-			Abbr: spec.Abbr, Shared: shared.ResponseRate,
+			Abbr: w.Abbr, Shared: shared.ResponseRate,
 			Private: private.ResponseRate, Adaptive: adaptive.ResponseRate,
 		})
 		sh = append(sh, shared.ResponseRate)
@@ -312,24 +336,26 @@ type Figure13Result struct {
 
 // Figure13 measures LLC miss rates for the shared-friendly class.
 func Figure13(o Options) (*Figure13Result, error) {
+	var specs []sweep.RunSpec
+	for _, w := range workload.ByClass(workload.SharedFriendly) {
+		for _, mode := range allModes {
+			specs = append(specs, o.modeSpec(w, mode))
+		}
+	}
+	stats, err := o.runAll(specs)
+	if err != nil {
+		return nil, fmt.Errorf("figure13: %w", err)
+	}
+
 	res := &Figure13Result{Options: o}
 	var sh, pr, ad float64
 	n := 0
-	for _, spec := range workload.ByClass(workload.SharedFriendly) {
-		shared, err := o.RunMode(spec, config.LLCShared)
-		if err != nil {
-			return nil, fmt.Errorf("figure13 %s: %w", spec.Abbr, err)
-		}
-		private, err := o.RunMode(spec, config.LLCPrivate)
-		if err != nil {
-			return nil, fmt.Errorf("figure13 %s: %w", spec.Abbr, err)
-		}
-		adaptive, err := o.RunMode(spec, config.LLCAdaptive)
-		if err != nil {
-			return nil, fmt.Errorf("figure13 %s: %w", spec.Abbr, err)
-		}
+	for _, w := range workload.ByClass(workload.SharedFriendly) {
+		shared := stats[modeKey(w.Abbr, config.LLCShared)]
+		private := stats[modeKey(w.Abbr, config.LLCPrivate)]
+		adaptive := stats[modeKey(w.Abbr, config.LLCAdaptive)]
 		res.Rows = append(res.Rows, Figure13Row{
-			Abbr: spec.Abbr, Shared: shared.LLCMissRate,
+			Abbr: w.Abbr, Shared: shared.LLCMissRate,
 			Private: private.LLCMissRate, Adaptive: adaptive.LLCMissRate,
 		})
 		sh += shared.LLCMissRate

@@ -1,0 +1,17 @@
+// Package mem defines the memory transaction types exchanged between the
+// simulator's components: the SMs, the request/reply NoCs, the memory-side
+// LLC slices and the DRAM controllers.
+//
+// All traffic is modelled at cache-line granularity. A Request is born when
+// an SM's L1 misses (loads) or writes through (stores); it travels the
+// request network to the LLC slice that owns its address, possibly on to
+// DRAM, and its Reply returns over the reply network to wake the issuing
+// warp. The types carry only the routing and bookkeeping fields the timing
+// model needs (originating SM, cluster, warp slot, application ID for
+// multi-program runs, and issue cycle for latency accounting) — there is no
+// payload, since the simulator tracks timing, not values.
+//
+// Keeping these types in a leaf package lets every component package (sm,
+// noc, llc, dram, gpu) agree on the transaction format without importing
+// each other.
+package mem

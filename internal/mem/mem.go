@@ -1,5 +1,3 @@
-// Package mem defines the memory-request type exchanged between the SMs,
-// the NoC, the memory-side LLC slices and the DRAM controllers.
 package mem
 
 // Request is one cache-line-granularity memory transaction on its way from

@@ -1,24 +1,3 @@
-// Package sm models a streaming multiprocessor at memory-request
-// granularity.
-//
-// Each SM hosts the configured number of warp contexts, fully occupied for
-// the duration of a run (the benchmarks of the paper are throughput kernels
-// with far more CTAs than the GPU can hold). Every cycle each of the SM's
-// schedulers picks a ready warp using a greedy-then-oldest (GTO) policy and
-// issues one instruction obtained from the workload generator:
-//
-//   - non-memory instructions occupy the warp for the workload's ALU
-//     latency;
-//   - loads access the per-SM L1 data cache; hits return after the L1 hit
-//     latency, misses allocate an L1 MSHR (merging on the same line) and
-//     emit a request that the GPU injects into the request NoC;
-//   - stores are write-through/no-allocate at the L1 and are sent to the
-//     LLC without blocking the warp.
-//
-// The SM therefore exposes exactly the behaviour the paper's evaluation
-// depends on: latency hiding across warps until the memory system (LLC
-// bandwidth, NoC or DRAM) becomes the bottleneck, at which point issue
-// stalls and IPC drops.
 package sm
 
 import (

@@ -1,0 +1,237 @@
+// Package sweep is the parallel experiment engine of the repository.
+//
+// Every evaluation in this repo — the paper's figures, the examples, and
+// ad-hoc design-space sweeps — decomposes into independent simulation runs:
+// one workload (or a multi-program combination) on one GPU configuration for
+// a fixed number of cycles. The simulator itself is single-threaded, so a
+// sweep of N runs is embarrassingly parallel across N goroutines.
+//
+// A sweep is declared as a slice of RunSpec values and executed by a Runner,
+// which fans the runs across a worker pool (GOMAXPROCS workers by default).
+// Each run builds its own workload generator from its own seed and its own
+// GPU instance, so no state is shared between runs and the results are
+// byte-identical regardless of worker count or scheduling order: Runner.Run
+// with Workers=1 and Workers=N return equal Result slices for the same
+// specs. Results are delivered positionally (results[i] belongs to
+// specs[i]), never in completion order.
+//
+// Failure of one run cancels the dispatch of not-yet-started runs and is
+// reported as the error of the lowest-index failed run; runs already in
+// flight complete normally. Cancelling the caller's context likewise stops
+// dispatch (the simulator has no internal preemption points, so in-flight
+// runs finish before Run returns).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+// RunSpec declares one independent simulation run: which workload(s) execute
+// on which configuration, for how long, and under which seed. It is a pure
+// value — building one performs no work — so figure harnesses and sweeps
+// first declare every run they need and then hand the batch to a Runner.
+type RunSpec struct {
+	// Key identifies the run inside its batch; collectors use it to look up
+	// results. Keys should be unique within one Runner.Run call.
+	Key string
+	// Workloads is the benchmark(s) to execute. One entry is a
+	// single-program run; several entries co-execute as a multi-program
+	// workload (paper §6.3).
+	Workloads []workload.Spec
+	// Config is the full GPU configuration for the run.
+	Config config.Config
+	// AppModes optionally assigns each application its own LLC view in
+	// multi-program mode (the paper's adaptive multi-program configuration,
+	// Figure 9). Empty means all applications use Config.LLCMode.
+	AppModes []config.LLCMode
+	// Seed drives the workload generator(s); runs with equal specs and
+	// equal seeds produce identical statistics.
+	Seed int64
+	// MeasureCycles and WarmupCycles mirror exp.Options: warm-up cycles are
+	// simulated first and excluded from all statistics.
+	MeasureCycles uint64
+	WarmupCycles  uint64
+	// Kernels is the number of kernel invocations the measured window is
+	// split into; 0 uses the largest Kernels value among Workloads.
+	Kernels int
+}
+
+// kernels resolves the kernel count, defaulting to the maximum over the
+// workloads as the multi-program harness did.
+func (s RunSpec) kernels() int {
+	if s.Kernels > 0 {
+		return s.Kernels
+	}
+	k := 1
+	for _, w := range s.Workloads {
+		if w.Kernels > k {
+			k = w.Kernels
+		}
+	}
+	return k
+}
+
+// Execute runs one spec to completion on the calling goroutine and returns
+// its statistics. It is the serial building block the Runner parallelizes,
+// and the single place where a declarative RunSpec is turned into generator,
+// GPU and simulation loop.
+func Execute(s RunSpec) (gpu.RunStats, error) {
+	var (
+		prog workload.Program
+		err  error
+	)
+	switch len(s.Workloads) {
+	case 0:
+		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: no workloads", s.Key)
+	case 1:
+		prog, err = workload.NewGenerator(s.Workloads[0], s.Config, s.Seed)
+	default:
+		prog, err = workload.NewMultiProgram(s.Workloads, s.Config, s.Seed)
+	}
+	if err != nil {
+		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+	}
+	g, err := gpu.New(s.Config, prog)
+	if err != nil {
+		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+	}
+	if len(s.AppModes) > 0 {
+		if err := g.SetAppModes(s.AppModes); err != nil {
+			return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+		}
+	}
+	if s.WarmupCycles > 0 {
+		g.Warmup(s.WarmupCycles)
+	}
+	return g.Run(s.MeasureCycles, s.kernels()), nil
+}
+
+// Result is the outcome of one RunSpec within a batch.
+type Result struct {
+	// Index is the position of the spec in the batch handed to Runner.Run.
+	Index int
+	// Key echoes RunSpec.Key.
+	Key string
+	// Stats holds the run statistics; it is the zero value if the run
+	// failed or was never dispatched due to an earlier failure or
+	// cancellation.
+	Stats gpu.RunStats
+	// Err is the run's own failure, if any.
+	Err error
+}
+
+// Progress is delivered to Runner.OnProgress after each completed run.
+// Callbacks are serialized (never concurrent) but arrive in completion
+// order, which under parallel execution is not spec order.
+type Progress struct {
+	// Done runs out of Total have finished, the most recent being Key.
+	Done, Total int
+	Key         string
+}
+
+// Runner executes a batch of runs across a worker pool.
+type Runner struct {
+	// Workers is the pool size: 0 (or negative) uses GOMAXPROCS, 1 forces
+	// serial execution in spec order.
+	Workers int
+	// OnProgress, when non-nil, is invoked after every completed run.
+	OnProgress func(Progress)
+}
+
+// Run executes every spec and returns one Result per spec, positionally.
+// The returned error is nil only if every run was dispatched and succeeded;
+// on failure it wraps the error of the lowest-index failed run, and on
+// caller cancellation it is the context's error. Partial results are always
+// returned so callers can inspect what did complete.
+func (r *Runner) Run(ctx context.Context, specs []RunSpec) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(specs))
+	for i, s := range specs {
+		results[i] = Result{Index: i, Key: s.Key}
+	}
+	if len(specs) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	// runCtx stops the dispatch loop on the first failure without touching
+	// the caller's context.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes result writes and OnProgress
+		done int
+	)
+	finish := func(res Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		results[res.Index] = res
+		done++
+		if r.OnProgress != nil {
+			r.OnProgress(Progress{Done: done, Total: len(specs), Key: res.Key})
+		}
+	}
+
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				// The dispatch select can race with cancellation and still
+				// hand out an index after a failure; re-check here so an
+				// aborted batch never starts another expensive simulation.
+				if runCtx.Err() != nil {
+					continue
+				}
+				res := Result{Index: i, Key: specs[i].Key}
+				res.Stats, res.Err = Execute(specs[i])
+				if res.Err != nil {
+					cancel()
+				}
+				finish(res)
+			}
+		}()
+	}
+
+	for i := range specs {
+		if runCtx.Err() != nil {
+			break
+		}
+		select {
+		case idx <- i:
+		case <-runCtx.Done():
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("sweep: %d/%d runs completed before failure: %w",
+				done, len(specs), results[i].Err)
+		}
+	}
+	return results, nil
+}
