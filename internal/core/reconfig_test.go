@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestReconfigCostArithmetic pins the exact cost model of §4.1: power-gate
+// latency + one cycle per slice set for tag invalidation + dirty write-back
+// streamed at the aggregate DRAM bandwidth.
+func TestReconfigCostArithmetic(t *testing.T) {
+	cfg := config.Baseline().Normalize()
+	// Baseline: 30 gate cycles + 48 sets per slice.
+	base := uint64(cfg.PowerGateCycles) + uint64(cfg.LLCSetsPerSlice())
+	if got := ReconfigCost(cfg, 0); got != base {
+		t.Errorf("clean cost = %d, want PowerGate+Sets = %d", got, base)
+	}
+
+	aggregate := uint64(cfg.BusBytesPerCycle * cfg.NumMemControllers)
+	if aggregate == 0 {
+		t.Fatal("baseline must derive a DRAM bandwidth")
+	}
+	for _, dirty := range []int{1, 17, 1000, 50_000} {
+		bytes := uint64(dirty) * uint64(cfg.LLCLineBytes)
+		want := base + (bytes+aggregate-1)/aggregate
+		if got := ReconfigCost(cfg, dirty); got != want {
+			t.Errorf("cost(%d dirty) = %d, want %d", dirty, got, want)
+		}
+	}
+}
+
+// TestReconfigCostMonotonic checks that more dirty lines never cost less.
+func TestReconfigCostMonotonic(t *testing.T) {
+	cfg := config.Baseline()
+	prev := ReconfigCost(cfg, 0)
+	for dirty := 1; dirty <= 4096; dirty *= 2 {
+		cur := ReconfigCost(cfg, dirty)
+		if cur < prev {
+			t.Fatalf("cost(%d) = %d < cost(%d/2) = %d", dirty, cur, dirty, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestReconfigCostBandwidthFallback covers the degenerate configuration
+// with no derivable DRAM bandwidth: the write-back is charged one cycle per
+// dirty line (aggregate falls back to one line per cycle).
+func TestReconfigCostBandwidthFallback(t *testing.T) {
+	cfg := config.Config{
+		PowerGateCycles: 10,
+		LLCSliceBytes:   2048,
+		LLCWays:         16,
+		LLCLineBytes:    128, // 2048/(16*128) = 1 set per slice
+		// No memory controllers / bandwidth: Normalize cannot derive
+		// BusBytesPerCycle, so the fallback path is taken.
+	}
+	const dirty = 5
+	want := uint64(10) + 1 + dirty
+	if got := ReconfigCost(cfg, dirty); got != want {
+		t.Errorf("fallback cost = %d, want %d (gate+sets+1 cycle/line)", got, want)
+	}
+}
+
+// TestReconfigCostScalesWithGateLatency checks the PowerGateCycles knob is
+// additive, so NoC-gating sensitivity studies shift the cost 1:1.
+func TestReconfigCostScalesWithGateLatency(t *testing.T) {
+	a := config.Baseline()
+	b := config.Baseline()
+	b.PowerGateCycles = a.PowerGateCycles + 100
+	da := ReconfigCost(a, 123)
+	db := ReconfigCost(b, 123)
+	if db-da != 100 {
+		t.Errorf("gate latency +100 changed cost by %d, want exactly 100", db-da)
+	}
+}

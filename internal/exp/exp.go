@@ -141,6 +141,32 @@ func (o Options) RunMode(spec workload.Spec, mode config.LLCMode) (gpu.RunStats,
 	return o.Run(spec, o.baseConfig(mode))
 }
 
+// RecordRun executes one benchmark like Run while capturing its per-warp op
+// stream to a trace file at path (see internal/trace). The returned
+// statistics are identical to an unrecorded run; the trace replays to the
+// same statistics via ReplayTrace under the same configuration.
+func (o Options) RecordRun(spec workload.Spec, cfg config.Config, path string) (gpu.RunStats, error) {
+	rs := o.runSpec(spec.Abbr, cfg, spec)
+	rs.RecordPath = path
+	return sweep.Execute(rs)
+}
+
+// ReplayTrace replays a recorded memory trace under the given configuration
+// instead of a synthetic workload. The kernel count defaults to the one in
+// the trace header; loop selects the end-of-trace policy (false drains
+// exhausted warps, true rewinds and replays).
+func (o Options) ReplayTrace(path string, cfg config.Config, loop bool) (gpu.RunStats, error) {
+	return sweep.Execute(sweep.RunSpec{
+		Key:           "trace:" + path,
+		TracePath:     path,
+		TraceLoop:     loop,
+		Config:        cfg,
+		Seed:          o.Seed,
+		MeasureCycles: o.MeasureCycles,
+		WarmupCycles:  o.WarmupCycles,
+	})
+}
+
 // classAbbrs returns the benchmark abbreviations of one class, in catalog
 // order.
 func classAbbrs(c workload.Class) []string {

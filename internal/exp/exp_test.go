@@ -84,6 +84,9 @@ func TestRunModeSmoke(t *testing.T) {
 }
 
 func TestFigure12And13Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	o := tinyOptions()
 	f12, err := Figure12(o)
 	if err != nil {
@@ -116,6 +119,9 @@ func TestFigure12And13Structure(t *testing.T) {
 // sweep engine: the same figure regenerated serially and with a worker pool
 // must produce identical rows and aggregates.
 func TestFigureParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	serial := tinyOptions()
 	serial.Workers = 1
 	parallel := tinyOptions()
@@ -138,6 +144,9 @@ func TestFigureParallelDeterminism(t *testing.T) {
 }
 
 func TestFigure7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	o := tinyOptions()
 	res, err := Figure7(o)
 	if err != nil {
@@ -162,6 +171,9 @@ func TestFigure7Structure(t *testing.T) {
 }
 
 func TestFigure16SensitivityStructure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	o := tinyOptions()
 	// Restrict to a single category by checking the full sweep's row count
 	// would be too slow here; instead run the address-mapping points only by

@@ -99,6 +99,9 @@ func TestBasicProgress(t *testing.T) {
 // Figure 2b: a private LLC outperforms a shared LLC for a lockstep
 // sharing-intensive workload, and its LLC response rate is higher.
 func TestPrivateFriendlyPrefersPrivate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	shared := runBench(t, "MM", config.LLCShared, nil)
 	private := runBench(t, "MM", config.LLCPrivate, nil)
 	speedup := private.IPC / shared.IPC
@@ -114,6 +117,9 @@ func TestPrivateFriendlyPrefersPrivate(t *testing.T) {
 // TestSharedFriendlyPrefersShared reproduces Figure 2a: a private LLC hurts
 // capacity-sensitive workloads and substantially increases their miss rate.
 func TestSharedFriendlyPrefersShared(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	shared := runBench(t, "GEMM", config.LLCShared, nil)
 	private := runBench(t, "GEMM", config.LLCPrivate, nil)
 	if private.IPC >= shared.IPC {
@@ -128,6 +134,9 @@ func TestSharedFriendlyPrefersShared(t *testing.T) {
 // TestNeutralInsensitive reproduces Figure 2c: streaming workloads are
 // roughly insensitive to the LLC organization.
 func TestNeutralInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	shared := runBench(t, "VA", config.LLCShared, nil)
 	private := runBench(t, "VA", config.LLCPrivate, nil)
 	ratio := private.IPC / shared.IPC
@@ -140,6 +149,9 @@ func TestNeutralInsensitive(t *testing.T) {
 // is never substantially worse than the better of shared and private, for a
 // representative of each class.
 func TestAdaptiveTracksBestOrganization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	cases := []struct {
 		abbr string
 		want config.LLCMode // expected final organization
@@ -278,6 +290,9 @@ func TestFullCrossbarTopology(t *testing.T) {
 // TestScaledSMCount exercises the 40- and 160-SM configurations used by the
 // sensitivity analysis.
 func TestScaledSMCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	for _, sms := range []int{40, 160} {
 		rs := runBench(t, "MM", config.LLCPrivate, func(c *config.Config) {
 			c.NumSMs = sms
@@ -350,6 +365,9 @@ func TestSetAppModesValidation(t *testing.T) {
 // TestWarmupResetsStatistics verifies that Warmup clears measurements but
 // keeps architectural state (caches stay warm).
 func TestWarmupResetsStatistics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	spec, _ := workload.ByAbbr("GEMM")
 	cfg := config.Baseline()
 	gen := workload.MustNewGenerator(spec, cfg, 1)
@@ -388,6 +406,9 @@ func TestKernelBoundariesTriggerAdaptiveReprofile(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	a := runBench(t, "MM", config.LLCShared, nil)
 	b := runBench(t, "MM", config.LLCShared, nil)
 	if a.Instructions != b.Instructions || a.LLC.Accesses != b.LLC.Accesses {

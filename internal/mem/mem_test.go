@@ -1,0 +1,180 @@
+package mem_test
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/llc"
+	"repro/internal/mem"
+)
+
+// testConfig returns a baseline configuration (the LLC slice only consumes
+// the cache-geometry and latency fields).
+func testConfig() config.Config {
+	return config.Baseline().Normalize()
+}
+
+// request builds a fully-populated request so every field's round-trip is
+// observable.
+func request(id, addr uint64) *mem.Request {
+	return &mem.Request{
+		ID:       id,
+		Addr:     addr,
+		SM:       17,
+		Cluster:  3,
+		Warp:     42,
+		IssuedAt: 1234,
+		AppID:    1,
+	}
+}
+
+// checkReply asserts that every field the SM's wakeup path and the latency
+// accounting depend on survived the LLC reply path (gpu/run.go step 6 hands
+// Reply.SM to the reply NoC and Reply.Addr/IssuedAt to sm.CompleteLoad).
+func checkReply(t *testing.T, r mem.Reply, req *mem.Request, hit bool) {
+	t.Helper()
+	if r.ReqID != req.ID {
+		t.Errorf("ReqID = %d, want %d", r.ReqID, req.ID)
+	}
+	if r.Addr != req.Addr {
+		t.Errorf("Addr = %#x, want %#x", r.Addr, req.Addr)
+	}
+	if r.SM != req.SM {
+		t.Errorf("SM = %d, want %d", r.SM, req.SM)
+	}
+	if r.Warp != req.Warp {
+		t.Errorf("Warp = %d, want %d", r.Warp, req.Warp)
+	}
+	if r.AppID != req.AppID {
+		t.Errorf("AppID = %d, want %d", r.AppID, req.AppID)
+	}
+	if r.IssuedAt != req.IssuedAt {
+		t.Errorf("IssuedAt = %d, want %d", r.IssuedAt, req.IssuedAt)
+	}
+	if r.HitLLC != hit {
+		t.Errorf("HitLLC = %v, want %v", r.HitLLC, hit)
+	}
+}
+
+// TestMissFillReplyRoundTrip drives a read miss through the LLC slice the
+// way gpu.step does: enqueue, tag access, DRAM fill, reply.
+func TestMissFillReplyRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	s := llc.NewSlice(0, 0, 0, cfg)
+	req := request(7, 0x1000_0080)
+
+	s.EnqueueRequest(req)
+	s.Tick(10)
+
+	d, ok := s.PopDRAMRequest()
+	if !ok {
+		t.Fatal("miss did not emit a DRAM fill request")
+	}
+	if !d.Fill || d.Write {
+		t.Fatalf("DRAM request = %+v, want a fill read", d)
+	}
+	wantLine := req.Addr &^ uint64(cfg.LLCLineBytes-1)
+	if d.Addr != wantLine {
+		t.Fatalf("DRAM fill addr = %#x, want line %#x", d.Addr, wantLine)
+	}
+
+	s.DRAMComplete(d.Addr)
+	r, ok := s.PopReply(11)
+	if !ok {
+		t.Fatal("fill did not mature a reply")
+	}
+	checkReply(t, r, req, false)
+	if r.CreatedAt == 0 {
+		t.Error("CreatedAt must record the fill cycle")
+	}
+}
+
+// TestHitReplyRoundTripAndLatency checks the hit path: the reply carries
+// the same identity fields and matures only after the LLC access latency.
+func TestHitReplyRoundTripAndLatency(t *testing.T) {
+	cfg := testConfig()
+	s := llc.NewSlice(0, 0, 0, cfg)
+
+	// Warm the line via a miss + fill.
+	warm := request(1, 0x2000_0000)
+	s.EnqueueRequest(warm)
+	s.Tick(1)
+	d, ok := s.PopDRAMRequest()
+	if !ok {
+		t.Fatal("warming miss did not reach DRAM")
+	}
+	s.DRAMComplete(d.Addr)
+	if _, ok := s.PopReply(2); !ok {
+		t.Fatal("warming reply missing")
+	}
+
+	// The actual hit.
+	req := request(2, 0x2000_0000)
+	cycle := uint64(100)
+	s.EnqueueRequest(req)
+	s.Tick(cycle)
+	if _, ok := s.PopReply(cycle); ok {
+		t.Fatal("hit reply matured before the LLC access latency elapsed")
+	}
+	ready := cycle + uint64(cfg.LLCLatency)
+	r, ok := s.PopReply(ready)
+	if !ok {
+		t.Fatalf("hit reply not available after %d cycles of latency", cfg.LLCLatency)
+	}
+	checkReply(t, r, req, true)
+	if r.CreatedAt != cycle {
+		t.Errorf("CreatedAt = %d, want tag-access cycle %d", r.CreatedAt, cycle)
+	}
+}
+
+// TestMergedMissRepliesToAllRequesters checks that two reads of one line
+// from different warps both receive replies carrying their own identity
+// (the MSHR merge path gpu.step relies on to wake each warp exactly once).
+func TestMergedMissRepliesToAllRequesters(t *testing.T) {
+	cfg := testConfig()
+	s := llc.NewSlice(0, 0, 0, cfg)
+	a := request(10, 0x3000_0000)
+	b := request(11, 0x3000_0000)
+	b.SM, b.Warp = 5, 9
+
+	s.EnqueueRequest(a)
+	s.EnqueueRequest(b)
+	s.Tick(1) // a: miss, allocates MSHR
+	s.Tick(2) // b: merges
+
+	d, ok := s.PopDRAMRequest()
+	if !ok {
+		t.Fatal("no DRAM fill for the primary miss")
+	}
+	if _, extra := s.PopDRAMRequest(); extra {
+		t.Fatal("merged miss must not emit a second DRAM request")
+	}
+	s.DRAMComplete(d.Addr)
+
+	ra, ok := s.PopReply(3)
+	if !ok {
+		t.Fatal("primary requester got no reply")
+	}
+	rb, ok := s.PopReply(3)
+	if !ok {
+		t.Fatal("merged requester got no reply")
+	}
+	checkReply(t, ra, a, false)
+	checkReply(t, rb, b, false)
+}
+
+// TestStoreGeneratesNoReply checks the write path: stores retire at issue,
+// so the slice must not reply (gpu's reply network would panic on a
+// Reply-typed packet it cannot deliver to a waiting warp).
+func TestStoreGeneratesNoReply(t *testing.T) {
+	cfg := testConfig()
+	s := llc.NewSlice(0, 0, 0, cfg)
+	st := request(20, 0x4000_0000)
+	st.Write = true
+
+	s.EnqueueRequest(st)
+	s.Tick(1)
+	if _, ok := s.PopReply(1 + uint64(cfg.LLCLatency)); ok {
+		t.Fatal("store produced a reply")
+	}
+}

@@ -6,6 +6,11 @@
 // a fixed number of cycles. The simulator itself is single-threaded, so a
 // sweep of N runs is embarrassingly parallel across N goroutines.
 //
+// A run's program source is either a synthetic workload specification (one
+// for single-program, several for multi-program co-execution) or a recorded
+// memory trace (RunSpec.TracePath; see internal/trace), and any run can
+// transparently capture its op stream to a trace file (RunSpec.RecordPath).
+//
 // A sweep is declared as a slice of RunSpec values and executed by a Runner,
 // which fans the runs across a worker pool (GOMAXPROCS workers by default).
 // Each run builds its own workload generator from its own seed and its own
@@ -25,11 +30,13 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -59,8 +66,22 @@ type RunSpec struct {
 	MeasureCycles uint64
 	WarmupCycles  uint64
 	// Kernels is the number of kernel invocations the measured window is
-	// split into; 0 uses the largest Kernels value among Workloads.
+	// split into; 0 uses the largest Kernels value among Workloads (or, for
+	// trace replay, the kernel count recorded in the trace header).
 	Kernels int
+
+	// TracePath, when non-empty, replays a recorded memory trace (see
+	// internal/trace) as the program source instead of Workloads; the two
+	// are mutually exclusive. Replay under the recording's configuration
+	// reproduces the recorded run exactly; under a different configuration
+	// the recorded warp streams are remapped onto the new geometry.
+	TracePath string
+	// TraceLoop selects the trace end-of-file policy: false parks exhausted
+	// warps (drain), true rewinds the trace and replays it again.
+	TraceLoop bool
+	// RecordPath, when non-empty, captures the run's per-warp op stream to a
+	// trace file that can later be replayed via TracePath.
+	RecordPath string
 }
 
 // kernels resolves the kernel count, defaulting to the maximum over the
@@ -83,34 +104,111 @@ func (s RunSpec) kernels() int {
 // and the single place where a declarative RunSpec is turned into generator,
 // GPU and simulation loop.
 func Execute(s RunSpec) (gpu.RunStats, error) {
+	fail := func(err error) (gpu.RunStats, error) {
+		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+	}
+
 	var (
-		prog workload.Program
-		err  error
+		prog   workload.Program
+		player *trace.Player
+		err    error
 	)
-	switch len(s.Workloads) {
-	case 0:
-		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: no workloads", s.Key)
-	case 1:
+	switch {
+	case s.TracePath != "" && len(s.Workloads) > 0:
+		return fail(fmt.Errorf("TracePath and Workloads are mutually exclusive"))
+	case s.TracePath != "":
+		policy := trace.EOFDrain
+		if s.TraceLoop {
+			policy = trace.EOFLoop
+		}
+		player, err = trace.NewPlayer(s.TracePath, s.Config.Normalize(), policy)
+		prog = player
+	case len(s.Workloads) == 0:
+		return fail(fmt.Errorf("no workloads"))
+	case len(s.Workloads) == 1:
 		prog, err = workload.NewGenerator(s.Workloads[0], s.Config, s.Seed)
 	default:
 		prog, err = workload.NewMultiProgram(s.Workloads, s.Config, s.Seed)
 	}
 	if err != nil {
-		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+		return fail(err)
 	}
+	if player != nil {
+		defer player.Close()
+	}
+
+	kernels := s.kernels()
+	if s.Kernels == 0 && player != nil && player.Header().Kernels > 0 {
+		kernels = player.Header().Kernels
+	}
+
+	// Optional transparent capture: wrap the program so the run records its
+	// op stream to a replayable trace file.
+	var rec *trace.Recorder
+	if s.RecordPath != "" {
+		names := make([]string, len(s.Workloads))
+		for i, w := range s.Workloads {
+			names[i] = w.Abbr
+		}
+		cfg := s.Config.Normalize()
+		hdr := trace.HeaderFor(cfg, names, s.Seed, kernels, s.MeasureCycles, s.WarmupCycles)
+		// Preserve multi-program SM-to-app assignment from any program that
+		// carries one (a MultiProgram, or a Player re-recording a
+		// multi-program trace) — the same interface gpu.New detects.
+		if a, ok := prog.(interface {
+			AppOf(sm int) int
+			Apps() int
+		}); ok && a.Apps() > 1 {
+			hdr.Apps = a.Apps()
+			hdr.SMApp = make([]int, cfg.NumSMs)
+			for sm := range hdr.SMApp {
+				hdr.SMApp[sm] = a.AppOf(sm)
+			}
+		}
+		w, err := trace.Create(s.RecordPath, hdr)
+		if err != nil {
+			return fail(err)
+		}
+		rec = trace.NewRecorder(prog, w)
+		prog = rec
+	}
+	// A failed recorded run must not leave a well-formed (but empty or
+	// partial) trace behind: a later replay of it would silently succeed
+	// with a bogus workload.
+	abortRecording := func() {
+		if rec != nil {
+			rec.Close()
+			os.Remove(s.RecordPath)
+		}
+	}
+
 	g, err := gpu.New(s.Config, prog)
 	if err != nil {
-		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+		abortRecording()
+		return fail(err)
 	}
 	if len(s.AppModes) > 0 {
 		if err := g.SetAppModes(s.AppModes); err != nil {
-			return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+			abortRecording()
+			return fail(err)
 		}
 	}
 	if s.WarmupCycles > 0 {
 		g.Warmup(s.WarmupCycles)
 	}
-	return g.Run(s.MeasureCycles, s.kernels()), nil
+	stats := g.Run(s.MeasureCycles, kernels)
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			os.Remove(s.RecordPath)
+			return fail(err)
+		}
+	}
+	if player != nil {
+		if err := player.Err(); err != nil {
+			return fail(err)
+		}
+	}
+	return stats, nil
 }
 
 // Result is the outcome of one RunSpec within a batch.

@@ -46,6 +46,9 @@ func figureSpecs(measure, warmup uint64) []RunSpec {
 // spec run serially and run across a worker pool produces byte-identical
 // RunStats in the same positions.
 func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
 	specs := figureSpecs(3_000, 1_000)
 
 	serial := &Runner{Workers: 1}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DiffResult reports the structural comparison of two traces.
+type DiffResult struct {
+	// Equal is true when headers (geometry and provenance) and the full
+	// event streams match.
+	Equal bool
+	// HeaderDiffs lists human-readable header mismatches.
+	HeaderDiffs []string
+	// EventsCompared is the number of events that matched before the streams
+	// diverged (or the total event count when they did not).
+	EventsCompared uint64
+	// Divergence describes the first differing event; empty when the event
+	// streams match.
+	Divergence string
+	// EventsA and EventsB are the total event counts of each trace.
+	EventsA, EventsB uint64
+}
+
+// Format renders the result as the text `tracetool diff` prints.
+func (d DiffResult) Format() string {
+	if d.Equal {
+		return fmt.Sprintf("traces are structurally identical (%d events)\n", d.EventsCompared)
+	}
+	var b strings.Builder
+	for _, h := range d.HeaderDiffs {
+		fmt.Fprintf(&b, "header: %s\n", h)
+	}
+	if d.Divergence != "" {
+		fmt.Fprintf(&b, "events: %s\n", d.Divergence)
+	}
+	fmt.Fprintf(&b, "events compared: %d (A has %d, B has %d)\n", d.EventsCompared, d.EventsA, d.EventsB)
+	return b.String()
+}
+
+// Diff structurally compares two traces: header geometry/provenance and the
+// decoded event streams, in order. Both traces are streamed; nothing is held
+// in memory. Gzip-level byte differences that decode to the same events are
+// reported as equal — the comparison is of recorded behaviour, not of
+// compression artifacts.
+func Diff(pathA, pathB string) (DiffResult, error) {
+	ra, err := Open(pathA)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("%s: %w", pathA, err)
+	}
+	defer ra.Close()
+	rb, err := Open(pathB)
+	if err != nil {
+		return DiffResult{}, fmt.Errorf("%s: %w", pathB, err)
+	}
+	defer rb.Close()
+
+	var d DiffResult
+	d.HeaderDiffs = diffHeaders(ra.Header(), rb.Header())
+
+	for {
+		evA, errA := ra.Next()
+		evB, errB := rb.Next()
+		switch {
+		// Real decode errors (truncation, corruption) take precedence over
+		// the other trace merely ending: a broken trace must never be
+		// misreported as "the shorter trace".
+		case errA != nil && errA != io.EOF:
+			return d, fmt.Errorf("%s: %w", pathA, errA)
+		case errB != nil && errB != io.EOF:
+			return d, fmt.Errorf("%s: %w", pathB, errB)
+		case errA == io.EOF && errB == io.EOF:
+			d.EventsA, d.EventsB = d.EventsCompared, d.EventsCompared
+			d.Equal = len(d.HeaderDiffs) == 0
+			return d, nil
+		case errA == io.EOF || errB == io.EOF:
+			d.EventsA, d.EventsB = d.EventsCompared, d.EventsCompared
+			shorter, longer := pathA, pathB
+			r, add := rb, &d.EventsB
+			if errB == io.EOF {
+				shorter, longer = pathB, pathA
+				r, add = ra, &d.EventsA
+			}
+			*add++ // the event just read from the longer trace
+			rest, err := drain(r)
+			if err != nil {
+				return d, fmt.Errorf("%s: %w", longer, err)
+			}
+			*add += rest
+			d.Divergence = fmt.Sprintf("%s ends after %d events; %s continues", shorter, d.EventsCompared, longer)
+			return d, nil
+		}
+		if evA != evB {
+			d.Divergence = fmt.Sprintf("event %d differs: A=%s B=%s",
+				d.EventsCompared, formatEvent(evA), formatEvent(evB))
+			restA, err := drain(ra)
+			if err != nil {
+				return d, fmt.Errorf("%s: %w", pathA, err)
+			}
+			restB, err := drain(rb)
+			if err != nil {
+				return d, fmt.Errorf("%s: %w", pathB, err)
+			}
+			d.EventsA = d.EventsCompared + 1 + restA
+			d.EventsB = d.EventsCompared + 1 + restB
+			return d, nil
+		}
+		d.EventsCompared++
+	}
+}
+
+// drain counts the remaining events of a reader.
+func drain(r *Reader) (uint64, error) {
+	var n uint64
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func formatEvent(ev Event) string {
+	if ev.Kind == EventKernel {
+		return "kernel-boundary"
+	}
+	op := ev.Op
+	switch {
+	case !op.IsMem:
+		return fmt.Sprintf("alu(sm=%d,w=%d,lat=%d)", ev.SM, ev.Warp, op.ALULatency)
+	case op.Write:
+		return fmt.Sprintf("store(sm=%d,w=%d,addr=%#x)", ev.SM, ev.Warp, op.Addr)
+	default:
+		return fmt.Sprintf("load(sm=%d,w=%d,addr=%#x)", ev.SM, ev.Warp, op.Addr)
+	}
+}
+
+// diffHeaders compares the fields that define a trace's identity.
+func diffHeaders(a, b Header) []string {
+	var diffs []string
+	add := func(field string, va, vb any) {
+		diffs = append(diffs, fmt.Sprintf("%s: %v vs %v", field, va, vb))
+	}
+	if a.NumSMs != b.NumSMs {
+		add("NumSMs", a.NumSMs, b.NumSMs)
+	}
+	if a.MaxWarpsPerSM != b.MaxWarpsPerSM {
+		add("MaxWarpsPerSM", a.MaxWarpsPerSM, b.MaxWarpsPerSM)
+	}
+	if a.NumClusters != b.NumClusters {
+		add("NumClusters", a.NumClusters, b.NumClusters)
+	}
+	if a.LLCLineBytes != b.LLCLineBytes {
+		add("LLCLineBytes", a.LLCLineBytes, b.LLCLineBytes)
+	}
+	if strings.Join(a.Workloads, ",") != strings.Join(b.Workloads, ",") {
+		add("Workloads", a.Workloads, b.Workloads)
+	}
+	if a.Seed != b.Seed {
+		add("Seed", a.Seed, b.Seed)
+	}
+	if a.LLCMode != b.LLCMode {
+		add("LLCMode", a.LLCMode, b.LLCMode)
+	}
+	if a.Kernels != b.Kernels {
+		add("Kernels", a.Kernels, b.Kernels)
+	}
+	if a.Apps != b.Apps {
+		add("Apps", a.Apps, b.Apps)
+	}
+	return diffs
+}

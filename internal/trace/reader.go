@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// EventKind discriminates the records of a trace.
+type EventKind uint8
+
+const (
+	// EventOp is one operation issued to a specific warp.
+	EventOp EventKind = iota
+	// EventKernel is a kernel boundary.
+	EventKernel
+)
+
+// Event is one decoded trace record.
+type Event struct {
+	Kind EventKind
+	// SM and Warp locate the op in the recorded geometry (EventOp only).
+	SM, Warp int
+	// Op is the recorded operation (EventOp only).
+	Op workload.Op
+}
+
+// Reader streams a trace from an underlying reader. Next returns events in
+// recorded order and io.EOF after the end-of-trace marker.
+type Reader struct {
+	hdr    Header
+	closer io.Closer // underlying file when opened via Open, else nil
+	gz     *gzip.Reader
+	br     *bufio.Reader
+
+	lastAddr []uint64
+	done     bool
+}
+
+// NewReader opens a trace stream and decodes its header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	if string(m[:7]) != string(magic[:7]) { // compare everything but the version byte
+		return nil, ErrBadMagic
+	}
+	if m[7] != formatVersion {
+		return nil, fmt.Errorf("%w: file is v%d, reader supports v%d", ErrVersion, m[7], formatVersion)
+	}
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening compressed stream: %w", err)
+	}
+	br := bufio.NewReader(gz)
+	hdrLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header length: %v", ErrCorrupt, err)
+	}
+	const maxHeaderBytes = 1 << 20
+	if hdrLen > maxHeaderBytes {
+		return nil, fmt.Errorf("%w: header length %d exceeds %d", ErrCorrupt, hdrLen, maxHeaderBytes)
+	}
+	hdrJSON := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrJSON); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	var hdr Header
+	if err := json.Unmarshal(hdrJSON, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if err := hdr.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{
+		hdr:      hdr,
+		gz:       gz,
+		br:       br,
+		lastAddr: make([]uint64, hdr.TotalWarps()),
+	}, nil
+}
+
+// Open opens a trace file for streaming.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// Header returns the decoded trace header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next event. After the end-of-trace marker it returns
+// io.EOF; a stream that ends without the marker yields ErrTruncated.
+func (r *Reader) Next() (Event, error) {
+	if r.done {
+		return Event{}, io.EOF
+	}
+	tag, err := r.br.ReadByte()
+	if err != nil {
+		r.done = true
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Event{}, ErrTruncated
+		}
+		return Event{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	switch tag {
+	case evEnd:
+		r.done = true
+		return Event{}, io.EOF
+	case evKernel:
+		return Event{Kind: EventKernel}, nil
+	case evALU, evRead, evWrite:
+		gw, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			r.done = true
+			return Event{}, fmt.Errorf("%w: warp id: %v", ErrCorrupt, err)
+		}
+		if gw >= uint64(r.hdr.TotalWarps()) {
+			r.done = true
+			return Event{}, fmt.Errorf("%w: warp id %d outside geometry %dx%d",
+				ErrCorrupt, gw, r.hdr.NumSMs, r.hdr.MaxWarpsPerSM)
+		}
+		arg, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			r.done = true
+			return Event{}, fmt.Errorf("%w: op argument: %v", ErrCorrupt, err)
+		}
+		ev := Event{
+			Kind: EventOp,
+			SM:   int(gw) / r.hdr.MaxWarpsPerSM,
+			Warp: int(gw) % r.hdr.MaxWarpsPerSM,
+		}
+		switch tag {
+		case evALU:
+			ev.Op = workload.Op{ALULatency: int(arg)}
+		default:
+			addr := r.lastAddr[gw] + uint64(unzigzag(arg))
+			r.lastAddr[gw] = addr
+			ev.Op = workload.Op{IsMem: true, Write: tag == evWrite, Addr: addr}
+		}
+		return ev, nil
+	default:
+		r.done = true
+		return Event{}, fmt.Errorf("%w: unknown record tag %#x", ErrCorrupt, tag)
+	}
+}
+
+// Close releases the decompressor and the underlying file, if owned.
+func (r *Reader) Close() error {
+	err := r.gz.Close()
+	if r.closer != nil {
+		if cerr := r.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

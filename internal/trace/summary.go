@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Summary is the structural digest of a trace produced by Summarize.
+type Summary struct {
+	Header Header
+	Counts Counts
+
+	// ActiveWarps is the number of recorded warp streams that issued at
+	// least one operation.
+	ActiveWarps int
+	// UniqueLines is the number of distinct cache lines touched by memory
+	// operations; FootprintBytes is that count times the line size.
+	UniqueLines    int
+	FootprintBytes uint64
+	// ReuseHistogram buckets the touched lines by access count:
+	// [0]=1 access, [1]=2–3, [2]=4–7, [3]=8+.
+	ReuseHistogram [4]uint64
+	// MinAddr and MaxAddr bound the touched address range.
+	MinAddr, MaxAddr uint64
+}
+
+// Summarize streams a trace and returns its digest. Only per-line access
+// counters are held in memory (one map entry per distinct line), never the
+// trace itself.
+func Summarize(path string) (Summary, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	defer r.Close()
+
+	s := Summary{Header: r.Header(), MinAddr: ^uint64(0)}
+	lineBytes := uint64(s.Header.LLCLineBytes)
+	lineCounts := make(map[uint64]uint64)
+	warpActive := make([]bool, s.Header.TotalWarps())
+
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Summary{}, err
+		}
+		switch ev.Kind {
+		case EventKernel:
+			s.Counts.Kernels++
+		case EventOp:
+			s.Counts.Ops++
+			warpActive[ev.SM*s.Header.MaxWarpsPerSM+ev.Warp] = true
+			if !ev.Op.IsMem {
+				continue
+			}
+			s.Counts.MemOps++
+			if ev.Op.Write {
+				s.Counts.Stores++
+			} else {
+				s.Counts.Loads++
+			}
+			lineCounts[ev.Op.Addr/lineBytes]++
+			if ev.Op.Addr < s.MinAddr {
+				s.MinAddr = ev.Op.Addr
+			}
+			if ev.Op.Addr > s.MaxAddr {
+				s.MaxAddr = ev.Op.Addr
+			}
+		}
+	}
+
+	for _, active := range warpActive {
+		if active {
+			s.ActiveWarps++
+		}
+	}
+	s.UniqueLines = len(lineCounts)
+	s.FootprintBytes = uint64(s.UniqueLines) * lineBytes
+	for _, n := range lineCounts {
+		switch {
+		case n == 1:
+			s.ReuseHistogram[0]++
+		case n <= 3:
+			s.ReuseHistogram[1]++
+		case n <= 7:
+			s.ReuseHistogram[2]++
+		default:
+			s.ReuseHistogram[3]++
+		}
+	}
+	if s.Counts.MemOps == 0 {
+		s.MinAddr, s.MaxAddr = 0, 0
+	}
+	return s, nil
+}
+
+// Format renders the summary as the text block `tracetool info` prints.
+func (s Summary) Format() string {
+	var b strings.Builder
+	h := s.Header
+	fmt.Fprintf(&b, "geometry:   %d SMs x %d warps (%d clusters), %d B lines\n",
+		h.NumSMs, h.MaxWarpsPerSM, h.NumClusters, h.LLCLineBytes)
+	if len(h.Workloads) > 0 {
+		fmt.Fprintf(&b, "workloads:  %s\n", strings.Join(h.Workloads, ", "))
+	}
+	fmt.Fprintf(&b, "recorded:   mode=%s seed=%d kernels=%d measure=%d warmup=%d\n",
+		h.LLCMode, h.Seed, h.Kernels, h.MeasureCycles, h.WarmupCycles)
+	if h.Apps > 1 {
+		fmt.Fprintf(&b, "apps:       %d co-recorded applications\n", h.Apps)
+	}
+	fmt.Fprintf(&b, "ops:        %d total (%d loads, %d stores, %d ALU), %d active warps\n",
+		s.Counts.Ops, s.Counts.Loads, s.Counts.Stores,
+		s.Counts.Ops-s.Counts.MemOps, s.ActiveWarps)
+	fmt.Fprintf(&b, "kernels:    %d boundary markers\n", s.Counts.Kernels)
+	fmt.Fprintf(&b, "footprint:  %d lines (%.1f KB), addr range [%#x, %#x]\n",
+		s.UniqueLines, float64(s.FootprintBytes)/1024, s.MinAddr, s.MaxAddr)
+	fmt.Fprintf(&b, "line reuse: 1x=%d  2-3x=%d  4-7x=%d  8+x=%d\n",
+		s.ReuseHistogram[0], s.ReuseHistogram[1], s.ReuseHistogram[2], s.ReuseHistogram[3])
+	return b.String()
+}
