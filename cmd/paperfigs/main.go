@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +29,11 @@ import (
 	"repro/internal/sweep"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so that deferred cleanups (profile flushing) run on
+// every exit path, including errors; os.Exit would skip them.
+func run() int {
 	var (
 		figureFlag   = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
 		figuresFlag  = flag.String("figures", "", "comma-separated list of figures to regenerate (overrides -figure)")
@@ -39,8 +44,41 @@ func main() {
 		parallelFlag = flag.Bool("parallel", false, "fan each figure's runs across all CPU cores")
 		workersFlag  = flag.Int("workers", 0, "exact worker-pool size (implies -parallel; 0 = serial unless -parallel)")
 		progressFlag = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		// Open up front so a bad path fails before the simulation, not after.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -memprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	// In-place \r progress lines garble captured logs, so unless -progress
 	// was set explicitly, emit them only when stderr is a terminal.
@@ -117,7 +155,7 @@ func main() {
 		}
 		if len(selected) == 0 {
 			fmt.Fprintf(os.Stderr, "paperfigs: -figures %q selects no figures\n", *figuresFlag)
-			os.Exit(1)
+			return 1
 		}
 	}
 	// Validate the whole selection before simulating anything: a typo at the
@@ -125,7 +163,7 @@ func main() {
 	for _, key := range selected {
 		if _, ok := jobs[key]; !ok {
 			fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", key)
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -140,7 +178,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
 			}
 			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", j.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(start).Seconds())
@@ -150,6 +188,7 @@ func main() {
 		mode = fmt.Sprintf("%d workers", workers)
 	}
 	fmt.Printf("[total: %.1fs, %s]\n", time.Since(totalStart).Seconds(), mode)
+	return 0
 }
 
 type formatter interface{ Format() string }

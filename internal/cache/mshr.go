@@ -4,10 +4,31 @@ package cache
 // to the same cache line merge into one outstanding entry; the table is
 // full when the number of distinct outstanding lines reaches its capacity,
 // at which point the cache must stall new misses.
-type MSHRTable struct {
-	capacity      int
-	maxMergedPer  int
-	entries       map[uint64][]uint64 // line address -> merged request IDs
+//
+// The table is generic over the per-miss payload P it remembers for each
+// merged requester: the L1s track request IDs (uint64), the LLC slices track
+// the merged *mem.Request values they must answer when the fill returns, so
+// one structure serves both without a shadow table.
+//
+// It is backed by packed arrays rather than a map: MSHR capacities are
+// small (tens of entries), so a linear scan over a contiguous line-address
+// array is both faster than hashing and allocation-free, which matters on
+// the simulator's per-cycle hot path. Per-entry payload slices are recycled
+// through an internal free list, so a warmed-up table performs zero
+// allocations.
+type MSHRTable[P any] struct {
+	capacity     int
+	maxMergedPer int
+
+	// Packed parallel arrays of the occupied entries. Entry order is
+	// insertion-order-with-swap-remove and carries no semantic meaning; all
+	// lookups are by line address.
+	lines    []uint64
+	payloads [][]P
+
+	// freePayloads recycles the per-entry payload backing slices.
+	freePayloads [][]P
+
 	peakOccupancy int
 	allocations   uint64
 	merges        uint64
@@ -16,90 +37,126 @@ type MSHRTable struct {
 
 // NewMSHRTable creates a table with the given number of entries. Each entry
 // can merge up to maxMergedPer requests (0 means unlimited merging).
-func NewMSHRTable(capacity, maxMergedPer int) *MSHRTable {
+func NewMSHRTable[P any](capacity, maxMergedPer int) *MSHRTable[P] {
 	if capacity <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &MSHRTable{
+	return &MSHRTable[P]{
 		capacity:     capacity,
 		maxMergedPer: maxMergedPer,
-		entries:      make(map[uint64][]uint64, capacity),
+		lines:        make([]uint64, 0, capacity),
+		payloads:     make([][]P, 0, capacity),
+		freePayloads: make([][]P, 0, capacity),
 	}
+}
+
+// find returns the packed index of lineAddr, or -1.
+func (m *MSHRTable[P]) find(lineAddr uint64) int {
+	for i, l := range m.lines {
+		if l == lineAddr {
+			return i
+		}
+	}
+	return -1
 }
 
 // CanAccept reports whether a miss on lineAddr can be accepted right now,
 // either by merging into an existing entry or by allocating a new one.
-func (m *MSHRTable) CanAccept(lineAddr uint64) bool {
-	if reqs, ok := m.entries[lineAddr]; ok {
-		return m.maxMergedPer == 0 || len(reqs) < m.maxMergedPer
+func (m *MSHRTable[P]) CanAccept(lineAddr uint64) bool {
+	if i := m.find(lineAddr); i >= 0 {
+		return m.maxMergedPer == 0 || len(m.payloads[i]) < m.maxMergedPer
 	}
-	return len(m.entries) < m.capacity
+	return len(m.lines) < m.capacity
 }
 
-// Allocate records a miss for reqID on lineAddr. It returns primary=true if
-// this is the first outstanding miss for the line (and therefore a request
-// must be sent to the next level), or primary=false if it merged into an
-// existing entry. ok=false means the table is full and the miss must stall.
-func (m *MSHRTable) Allocate(lineAddr uint64, reqID uint64) (primary, ok bool) {
-	if reqs, exists := m.entries[lineAddr]; exists {
-		if m.maxMergedPer != 0 && len(reqs) >= m.maxMergedPer {
+// Allocate records a miss for payload on lineAddr. It returns primary=true
+// if this is the first outstanding miss for the line (and therefore a
+// request must be sent to the next level), or primary=false if it merged
+// into an existing entry. ok=false means the table is full and the miss must
+// stall.
+func (m *MSHRTable[P]) Allocate(lineAddr uint64, payload P) (primary, ok bool) {
+	if i := m.find(lineAddr); i >= 0 {
+		if m.maxMergedPer != 0 && len(m.payloads[i]) >= m.maxMergedPer {
 			m.fullStalls++
 			return false, false
 		}
-		m.entries[lineAddr] = append(reqs, reqID)
+		m.payloads[i] = append(m.payloads[i], payload)
 		m.merges++
 		return false, true
 	}
-	if len(m.entries) >= m.capacity {
+	if len(m.lines) >= m.capacity {
 		m.fullStalls++
 		return false, false
 	}
-	m.entries[lineAddr] = []uint64{reqID}
+	var ps []P
+	if n := len(m.freePayloads); n > 0 {
+		ps = m.freePayloads[n-1][:0]
+		m.freePayloads[n-1] = nil
+		m.freePayloads = m.freePayloads[:n-1]
+	} else {
+		ps = make([]P, 0, 8)
+	}
+	m.lines = append(m.lines, lineAddr)
+	m.payloads = append(m.payloads, append(ps, payload))
 	m.allocations++
-	if len(m.entries) > m.peakOccupancy {
-		m.peakOccupancy = len(m.entries)
+	if len(m.lines) > m.peakOccupancy {
+		m.peakOccupancy = len(m.lines)
 	}
 	return true, true
 }
 
-// Complete removes the entry for lineAddr and returns the merged request IDs
+// Complete removes the entry for lineAddr and returns the merged payloads
 // waiting on it (in arrival order). It returns nil if no entry exists.
-func (m *MSHRTable) Complete(lineAddr uint64) []uint64 {
-	reqs, ok := m.entries[lineAddr]
-	if !ok {
+//
+// The returned slice's backing array is recycled by the table: it is valid
+// only until the next call to Allocate.
+func (m *MSHRTable[P]) Complete(lineAddr uint64) []P {
+	i := m.find(lineAddr)
+	if i < 0 {
 		return nil
 	}
-	delete(m.entries, lineAddr)
+	reqs := m.payloads[i]
+	last := len(m.lines) - 1
+	m.lines[i] = m.lines[last]
+	m.payloads[i] = m.payloads[last]
+	m.lines = m.lines[:last]
+	m.payloads[last] = nil
+	m.payloads = m.payloads[:last]
+	m.freePayloads = append(m.freePayloads, reqs)
 	return reqs
 }
 
 // Outstanding reports whether lineAddr has an outstanding miss.
-func (m *MSHRTable) Outstanding(lineAddr uint64) bool {
-	_, ok := m.entries[lineAddr]
-	return ok
+func (m *MSHRTable[P]) Outstanding(lineAddr uint64) bool {
+	return m.find(lineAddr) >= 0
 }
 
 // Occupancy returns the number of distinct outstanding lines.
-func (m *MSHRTable) Occupancy() int { return len(m.entries) }
+func (m *MSHRTable[P]) Occupancy() int { return len(m.lines) }
 
 // Capacity returns the number of entries the table can hold.
-func (m *MSHRTable) Capacity() int { return m.capacity }
+func (m *MSHRTable[P]) Capacity() int { return m.capacity }
 
 // PeakOccupancy returns the maximum occupancy observed.
-func (m *MSHRTable) PeakOccupancy() int { return m.peakOccupancy }
+func (m *MSHRTable[P]) PeakOccupancy() int { return m.peakOccupancy }
 
 // Allocations returns the number of primary-miss allocations.
-func (m *MSHRTable) Allocations() uint64 { return m.allocations }
+func (m *MSHRTable[P]) Allocations() uint64 { return m.allocations }
 
 // Merges returns the number of secondary misses merged into existing entries.
-func (m *MSHRTable) Merges() uint64 { return m.merges }
+func (m *MSHRTable[P]) Merges() uint64 { return m.merges }
 
 // FullStalls returns how many allocation attempts were rejected.
-func (m *MSHRTable) FullStalls() uint64 { return m.fullStalls }
+func (m *MSHRTable[P]) FullStalls() uint64 { return m.fullStalls }
 
-// Reset clears all entries and statistics.
-func (m *MSHRTable) Reset() {
-	m.entries = make(map[uint64][]uint64, m.capacity)
+// Reset clears all entries and statistics (recycled backing storage is kept).
+func (m *MSHRTable[P]) Reset() {
+	for i := range m.payloads {
+		m.freePayloads = append(m.freePayloads, m.payloads[i][:0])
+		m.payloads[i] = nil
+	}
+	m.lines = m.lines[:0]
+	m.payloads = m.payloads[:0]
 	m.peakOccupancy = 0
 	m.allocations, m.merges, m.fullStalls = 0, 0, 0
 }

@@ -3,7 +3,7 @@ package cache
 import "testing"
 
 func TestMSHRBasicAllocateComplete(t *testing.T) {
-	m := NewMSHRTable(4, 0)
+	m := NewMSHRTable[uint64](4, 0)
 	primary, ok := m.Allocate(0x100, 1)
 	if !primary || !ok {
 		t.Fatalf("first allocation: primary=%v ok=%v, want true,true", primary, ok)
@@ -31,7 +31,7 @@ func TestMSHRBasicAllocateComplete(t *testing.T) {
 }
 
 func TestMSHRCapacity(t *testing.T) {
-	m := NewMSHRTable(2, 0)
+	m := NewMSHRTable[uint64](2, 0)
 	m.Allocate(0x100, 1)
 	m.Allocate(0x200, 2)
 	if m.CanAccept(0x300) {
@@ -54,7 +54,7 @@ func TestMSHRCapacity(t *testing.T) {
 }
 
 func TestMSHRMergeLimit(t *testing.T) {
-	m := NewMSHRTable(4, 2)
+	m := NewMSHRTable[uint64](4, 2)
 	m.Allocate(0x100, 1)
 	_, ok := m.Allocate(0x100, 2)
 	if !ok {
@@ -70,7 +70,7 @@ func TestMSHRMergeLimit(t *testing.T) {
 }
 
 func TestMSHRPeakAndReset(t *testing.T) {
-	m := NewMSHRTable(8, 0)
+	m := NewMSHRTable[uint64](8, 0)
 	for i := 0; i < 5; i++ {
 		m.Allocate(uint64(i)*128, uint64(i))
 	}
@@ -92,5 +92,5 @@ func TestMSHRPanicsOnInvalidCapacity(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewMSHRTable(0, 0)
+	NewMSHRTable[uint64](0, 0)
 }

@@ -17,6 +17,16 @@ import (
 	"repro/internal/config"
 )
 
+// Meta carries caller context through the controller: the originating LLC
+// slice, the line address, and whether the read must fill the slice on
+// completion. It is a concrete struct rather than an `any` so that enqueueing
+// a request does not box an allocation on the per-cycle hot path.
+type Meta struct {
+	Slice int
+	Addr  uint64
+	Fill  bool
+}
+
 // Request is one cache-line-sized memory transaction presented to a
 // controller.
 type Request struct {
@@ -25,9 +35,7 @@ type Request struct {
 	Row     uint64
 	Write   bool
 	Arrival uint64 // cycle the request entered the controller queue
-	// Meta carries opaque caller context (e.g. the originating LLC slice
-	// and NoC return route) through the memory system.
-	Meta any
+	Meta    Meta
 }
 
 // Completion reports a finished request and the cycle its data transfer
@@ -96,7 +104,7 @@ type Controller struct {
 	id           int
 	timing       config.GDDRTiming
 	banks        []bankState
-	queue        []*queued
+	queue        []queued // value-typed: one allocation for the whole queue
 	queueCap     int
 	burstCycles  int // cycles of data-bus occupancy per request
 	lineBytes    int
@@ -104,6 +112,7 @@ type Controller struct {
 	lastActCycle uint64 // for tRRD across banks
 	stats        Stats
 	cycle        uint64
+	done         []Completion // reused buffer returned by Tick
 }
 
 // NewController builds a memory controller from the GPU configuration.
@@ -121,6 +130,7 @@ func NewController(id int, cfg config.Config) *Controller {
 		id:          id,
 		timing:      cfg.Timing,
 		banks:       banks,
+		queue:       make([]queued, 0, cfg.MCQueueDepth),
 		queueCap:    cfg.MCQueueDepth,
 		burstCycles: burst,
 		lineBytes:   cfg.LLCLineBytes,
@@ -156,7 +166,7 @@ func (c *Controller) Enqueue(req Request) bool {
 		panic(fmt.Sprintf("dram: bank %d out of range [0,%d)", req.Bank, len(c.banks)))
 	}
 	req.Arrival = c.cycle
-	c.queue = append(c.queue, &queued{req: req})
+	c.queue = append(c.queue, queued{req: req})
 	c.stats.Requests++
 	if req.Write {
 		c.stats.Writes++
@@ -166,22 +176,28 @@ func (c *Controller) Enqueue(req Request) bool {
 	return true
 }
 
-// Tick advances the controller by one cycle and returns any completions.
+// Tick advances the controller by one cycle and returns any completions. The
+// returned slice is a buffer owned by the controller and is only valid until
+// the next call to Tick.
 func (c *Controller) Tick() []Completion {
 	c.cycle++
-	var done []Completion
+	c.done = c.done[:0]
 
-	// Collect finished transfers.
-	remaining := c.queue[:0]
-	for _, q := range c.queue {
+	// Collect finished transfers, compacting the queue in place.
+	keep := 0
+	for i := range c.queue {
+		q := &c.queue[i]
 		if q.issued && c.cycle >= q.doneAt {
-			done = append(done, Completion{Req: q.req, FinishedAt: c.cycle})
+			c.done = append(c.done, Completion{Req: q.req, FinishedAt: c.cycle})
 			c.stats.Completed++
 		} else {
-			remaining = append(remaining, q)
+			if keep != i {
+				c.queue[keep] = *q
+			}
+			keep++
 		}
 	}
-	c.queue = remaining
+	c.queue = c.queue[:keep]
 
 	if c.cycle < c.busFreeAt {
 		c.stats.BusyCycles++
@@ -192,13 +208,14 @@ func (c *Controller) Tick() []Completion {
 	// and advance its bank state (precharge/activate as needed).
 	c.issueOne()
 
-	return done
+	return c.done
 }
 
 // issueOne tries to issue (or make progress on) a single request.
 func (c *Controller) issueOne() {
 	// Pass 1: ready row hits, oldest first (queue order is arrival order).
-	for _, q := range c.queue {
+	for i := range c.queue {
+		q := &c.queue[i]
 		if q.issued {
 			continue
 		}
@@ -213,7 +230,8 @@ func (c *Controller) issueOne() {
 	// block younger requests targeting other banks — bank-level parallelism
 	// is what GPUs rely on for DRAM throughput.
 	var touched [64]bool
-	for _, q := range c.queue {
+	for i := range c.queue {
+		q := &c.queue[i]
 		if q.issued {
 			continue
 		}

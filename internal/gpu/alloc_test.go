@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateCycleAllocs is the allocation-regression gate for the
+// per-cycle hot path: after warm-up (caches populated, ring buffers and
+// free-list pools grown to their steady-state depth), advancing the
+// simulation must not allocate. Every queue push/pop, memory request, NoC
+// packet, MSHR entry and DRAM transaction is recycled; a regression here
+// means a per-cycle allocation crept back in.
+func TestSteadyStateCycleAllocs(t *testing.T) {
+	for _, abbr := range []string{"MM", "GEMM"} { // private- and shared-friendly traffic
+		t.Run(abbr, func(t *testing.T) {
+			spec, ok := workload.ByAbbr(abbr)
+			if !ok {
+				t.Fatalf("unknown benchmark %s", abbr)
+			}
+			cfg := config.Baseline()
+			gen, err := workload.NewGenerator(spec, cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := New(cfg, gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Long enough to populate the caches, reach the steady-state
+			// in-flight request population, and grow every ring buffer, MSHR
+			// merge list and pool to its high-water mark (merge depths keep
+			// setting new highs for a while, so this is deliberately longer
+			// than the caches alone need).
+			g.Warmup(30_000)
+
+			const cyclesPerRun = 500
+			avg := testing.AllocsPerRun(10, func() {
+				g.runLoop(cyclesPerRun, 1)
+			})
+			perCycle := avg / cyclesPerRun
+			// A strict 0 would be flaky against one-off high-water-mark
+			// growth (e.g. a queue exceeding its warmed depth once); 0.01
+			// allocations/cycle still catches any real per-cycle or
+			// per-request allocation, which shows up as >= O(0.1)/cycle.
+			if perCycle > 0.01 {
+				t.Errorf("steady-state cycle loop allocates %.4f times per cycle (%.1f per %d-cycle run), want ~0",
+					perCycle, avg, cyclesPerRun)
+			}
+		})
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/llc"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/pool"
 	"repro/internal/sm"
 	"repro/internal/workload"
 )
@@ -72,6 +73,12 @@ type GPU struct {
 	stallUntil      uint64
 	pendingDecision *core.Decision
 
+	// Free-list pools shared by the whole GPU: SMs acquire requests that the
+	// LLC slices release once answered, and the injection paths recycle NoC
+	// packets after delivery.
+	reqPool *pool.FreeList[mem.Request]
+	pktPool pool.FreeList[noc.Packet]
+
 	// Collectors.
 	gatedCycles      uint64
 	stallCycles      uint64
@@ -80,7 +87,9 @@ type GPU struct {
 	sharerTotal      uint64
 	sharerWindowEnd  uint64
 	kernelBoundaries []uint64
-	modeCycles       map[config.LLCMode]uint64
+	// modeCycles counts cycles spent in each LLC organization, indexed by
+	// config.LLCMode (a fixed array: this is incremented every cycle).
+	modeCycles [3]uint64
 }
 
 // New constructs a GPU for the given configuration and workload program.
@@ -110,12 +119,12 @@ func New(cfg config.Config, prog workload.Program) (*GPU, error) {
 	}
 
 	g := &GPU{
-		cfg:        cfg,
-		prog:       prog,
-		mapper:     mapper,
-		mode:       config.LLCShared,
-		modeCycles: make(map[config.LLCMode]uint64),
-		numApps:    1,
+		cfg:     cfg,
+		prog:    prog,
+		mapper:  mapper,
+		mode:    config.LLCShared,
+		reqPool: &pool.FreeList[mem.Request]{},
+		numApps: 1,
 	}
 
 	// SMs.
@@ -124,6 +133,7 @@ func New(cfg config.Config, prog workload.Program) (*GPU, error) {
 	g.smApp = make([]int, cfg.NumSMs)
 	for i := range g.sms {
 		g.sms[i] = sm.New(i, i/smsPerCluster, cfg)
+		g.sms[i].UseRequestPool(g.reqPool)
 	}
 	if assigner, ok := prog.(appAssigner); ok {
 		g.numApps = assigner.Apps()
@@ -137,6 +147,7 @@ func New(cfg config.Config, prog workload.Program) (*GPU, error) {
 	g.slices = make([]*llc.Slice, cfg.NumLLCSlices())
 	for i := range g.slices {
 		g.slices[i] = llc.NewSlice(i, i/cfg.LLCSlicesPerMC, i%cfg.LLCSlicesPerMC, cfg)
+		g.slices[i].UseRequestPool(g.reqPool)
 	}
 
 	// Memory controllers.

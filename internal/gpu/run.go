@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/llc"
-	"repro/internal/mem"
 	"repro/internal/noc"
 	"repro/internal/sm"
 )
@@ -14,14 +13,6 @@ import (
 // sharingWindowCycles is the measurement window for the inter-cluster
 // locality characterization (Figure 3 uses 1,000-cycle windows).
 const sharingWindowCycles = 1000
-
-// dramMeta carries the originating slice of a fill request through the
-// memory controller.
-type dramMeta struct {
-	slice int
-	addr  uint64
-	fill  bool
-}
 
 // RunStats is the result of one simulation run.
 type RunStats struct {
@@ -94,7 +85,7 @@ func (g *GPU) resetMeasurement() {
 	g.sharerBuckets = [4]uint64{}
 	g.sharerTotal = 0
 	g.kernelBoundaries = nil
-	g.modeCycles = make(map[config.LLCMode]uint64)
+	g.modeCycles = [3]uint64{}
 }
 
 // Run simulates `cycles` core cycles, splitting them evenly into `kernels`
@@ -181,8 +172,8 @@ func (g *GPU) step() {
 
 	// 2. Request network delivers to LLC slices.
 	for _, p := range g.reqNet.Tick() {
-		req := p.Meta.(*mem.Request)
-		g.slices[p.Dst].EnqueueRequest(req)
+		g.slices[p.Dst].EnqueueRequest(p.Req)
+		g.pktPool.Put(p)
 	}
 
 	// 3. LLC slices process requests, talk to DRAM and emit replies.
@@ -194,9 +185,8 @@ func (g *GPU) step() {
 	// 4. DRAM controllers.
 	for _, mc := range g.mcs {
 		for _, done := range mc.Tick() {
-			meta := done.Req.Meta.(dramMeta)
-			if meta.fill {
-				g.slices[meta.slice].DRAMComplete(meta.addr)
+			if done.Req.Meta.Fill {
+				g.slices[done.Req.Meta.Slice].DRAMComplete(done.Req.Meta.Addr)
 			}
 		}
 	}
@@ -206,8 +196,8 @@ func (g *GPU) step() {
 
 	// 6. Reply network delivers to SMs.
 	for _, p := range g.repNet.Tick() {
-		reply := p.Meta.(mem.Reply)
-		g.sms[p.Dst].CompleteLoad(reply, g.cycle)
+		g.sms[p.Dst].CompleteLoad(p.Reply, g.cycle)
+		g.pktPool.Put(p)
 	}
 
 	// 7. Reconfiguration progress.
@@ -232,8 +222,10 @@ func (g *GPU) injectRequests() {
 			if req.Write {
 				flits = writeFlits
 			}
-			pkt := &noc.Packet{ID: req.ID, Src: req.SM, Dst: dst, Flits: flits, Meta: req}
+			pkt := g.pktPool.Get()
+			pkt.ID, pkt.Src, pkt.Dst, pkt.Flits, pkt.Req = req.ID, req.SM, dst, flits, req
 			if !g.reqNet.Inject(pkt) {
+				g.pktPool.Put(pkt)
 				s.UnpopRequest(req)
 				break
 			}
@@ -261,7 +253,7 @@ func (g *GPU) moveSliceToDRAM() {
 				Bank:  loc.Bank,
 				Row:   loc.Row,
 				Write: d.Write,
-				Meta:  dramMeta{slice: s.ID(), addr: d.Addr, fill: d.Fill},
+				Meta:  dram.Meta{Slice: s.ID(), Addr: d.Addr, Fill: d.Fill},
 			}
 			if !g.mcs[mcID].Enqueue(req) {
 				s.UnpopDRAMRequest(d)
@@ -280,8 +272,10 @@ func (g *GPU) injectReplies() {
 			if !ok {
 				break
 			}
-			pkt := &noc.Packet{ID: r.ReqID, Src: s.ID(), Dst: r.SM, Flits: flits, Meta: r}
+			pkt := g.pktPool.Get()
+			pkt.ID, pkt.Src, pkt.Dst, pkt.Flits, pkt.Reply = r.ReqID, s.ID(), r.SM, flits, r
 			if !g.repNet.Inject(pkt) {
+				g.pktPool.Put(pkt)
 				s.UnpopReply(r)
 				break
 			}
@@ -360,13 +354,19 @@ func (g *GPU) collectSharing() {
 
 // collect builds the RunStats snapshot.
 func (g *GPU) collect(cycles uint64) RunStats {
+	modeCycles := make(map[config.LLCMode]uint64)
+	for m, c := range g.modeCycles {
+		if c > 0 {
+			modeCycles[config.LLCMode(m)] = c
+		}
+	}
 	rs := RunStats{
 		Cycles:           cycles,
 		FinalMode:        g.mode,
 		GatedCycles:      g.gatedCycles,
 		ReconfigCount:    g.reconfigCount,
 		ReconfigStall:    g.stallCycles,
-		ModeCycles:       g.modeCycles,
+		ModeCycles:       modeCycles,
 		KernelBoundaries: append([]uint64(nil), g.kernelBoundaries...),
 	}
 	if cycles > 0 {

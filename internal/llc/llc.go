@@ -19,6 +19,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/pool"
+	"repro/internal/ring"
 )
 
 // Stats aggregates slice activity.
@@ -98,8 +100,10 @@ type Slice struct {
 	mc    int // owning memory controller
 	local int // slice index within the memory controller
 
-	tags    *cache.Cache
-	mshrs   *cache.MSHRTable
+	tags *cache.Cache
+	// mshrs tracks outstanding miss lines; each entry's payload is the
+	// merged requests the slice must answer when the DRAM fill returns.
+	mshrs   *cache.MSHRTable[*mem.Request]
 	latency uint64
 
 	cfg config.Config
@@ -108,14 +112,15 @@ type Slice struct {
 	// serialization already limits arrival rate; the queue itself is
 	// unbounded and its occupancy is the paper's "requests queue up in front
 	// of the LLC slice" effect.
-	inq []*mem.Request
+	inq ring.Deque[*mem.Request]
 
 	// Output queues drained by the owner each cycle.
-	dramOut  []DRAMRequest
-	replyOut []pendingReply
+	dramOut  ring.Deque[DRAMRequest]
+	replyOut ring.Deque[pendingReply]
 
-	// mshrMeta remembers the requests merged on an outstanding line.
-	mshrReqs map[uint64][]*mem.Request
+	// pool receives requests once the slice has fully answered them; shared
+	// with the SMs (see SM.UseRequestPool).
+	pool *pool.FreeList[mem.Request]
 
 	cycle uint64
 	stats Stats
@@ -130,14 +135,23 @@ func NewSlice(id, mc, local int, cfg config.Config) *Slice {
 		Policy:    cache.WriteBack,
 	}
 	return &Slice{
-		id:       id,
-		mc:       mc,
-		local:    local,
-		tags:     cache.New(tagCfg),
-		mshrs:    cache.NewMSHRTable(cfg.LLCMSHRsPerSlice, 0),
-		latency:  uint64(cfg.LLCLatency),
-		cfg:      cfg,
-		mshrReqs: make(map[uint64][]*mem.Request),
+		id:      id,
+		mc:      mc,
+		local:   local,
+		tags:    cache.New(tagCfg),
+		mshrs:   cache.NewMSHRTable[*mem.Request](cfg.LLCMSHRsPerSlice, 0),
+		latency: uint64(cfg.LLCLatency),
+		cfg:     cfg,
+		pool:    &pool.FreeList[mem.Request]{},
+	}
+}
+
+// UseRequestPool replaces the slice's request pool. The GPU shares one pool
+// between all SMs and all LLC slices so that requests retired here are
+// reused by the SMs' issue path.
+func (s *Slice) UseRequestPool(p *pool.FreeList[mem.Request]) {
+	if p != nil {
+		s.pool = p
 	}
 }
 
@@ -181,12 +195,12 @@ func (s *Slice) SetWritePolicy(p cache.WritePolicy) {
 func (s *Slice) WritePolicy() cache.WritePolicy { return s.tags.Config().Policy }
 
 // QueueLen returns the current request queue occupancy.
-func (s *Slice) QueueLen() int { return len(s.inq) }
+func (s *Slice) QueueLen() int { return s.inq.Len() }
 
 // Pending reports whether the slice still has queued requests, outstanding
 // misses or unemitted output.
 func (s *Slice) Pending() bool {
-	return len(s.inq) > 0 || s.mshrs.Occupancy() > 0 || len(s.dramOut) > 0 || len(s.replyOut) > 0
+	return s.inq.Len() > 0 || s.mshrs.Occupancy() > 0 || s.dramOut.Len() > 0 || s.replyOut.Len() > 0
 }
 
 // EnqueueRequest accepts a request delivered by the NoC.
@@ -194,9 +208,9 @@ func (s *Slice) EnqueueRequest(r *mem.Request) {
 	if r == nil {
 		panic("llc: nil request")
 	}
-	s.inq = append(s.inq, r)
-	if len(s.inq) > s.stats.PeakQueue {
-		s.stats.PeakQueue = len(s.inq)
+	s.inq.PushBack(r)
+	if s.inq.Len() > s.stats.PeakQueue {
+		s.stats.PeakQueue = s.inq.Len()
 	}
 }
 
@@ -204,16 +218,14 @@ func (s *Slice) EnqueueRequest(r *mem.Request) {
 // the input queue into the tag pipeline and matures pending replies.
 func (s *Slice) Tick(cycle uint64) {
 	s.cycle = cycle
-	s.stats.QueueCycles += uint64(len(s.inq))
-	if len(s.inq) == 0 {
+	s.stats.QueueCycles += uint64(s.inq.Len())
+	if s.inq.Len() == 0 {
 		return
 	}
-	r := s.inq[0]
-	if !s.process(r) {
+	if !s.process(s.inq.Front()) {
 		return // stalled (MSHRs full); retry next cycle
 	}
-	copy(s.inq, s.inq[1:])
-	s.inq = s.inq[:len(s.inq)-1]
+	s.inq.PopFront()
 }
 
 // process runs the tag access for r. It returns false if the request could
@@ -225,11 +237,10 @@ func (s *Slice) process(r *mem.Request) bool {
 		// A read that merges into an outstanding miss does not need a tag
 		// access outcome of its own.
 		if s.mshrs.Outstanding(lineAddr) {
-			if _, ok := s.mshrs.Allocate(lineAddr, r.ID); !ok {
+			if _, ok := s.mshrs.Allocate(lineAddr, r); !ok {
 				s.stats.MSHRStalls++
 				return false
 			}
-			s.mshrReqs[lineAddr] = append(s.mshrReqs[lineAddr], r)
 			s.stats.Accesses++
 			s.stats.Reads++
 			s.stats.Hits++
@@ -271,22 +282,22 @@ func (s *Slice) process(r *mem.Request) bool {
 func (s *Slice) processRead(r *mem.Request, lineAddr uint64, res cache.Result) bool {
 	if res.Hit {
 		s.stats.Hits++
-		s.replyOut = append(s.replyOut, pendingReply{
+		s.replyOut.PushBack(pendingReply{
 			reply: mem.Reply{
 				ReqID: r.ID, Addr: r.Addr, SM: r.SM, Warp: r.Warp, AppID: r.AppID,
 				HitLLC: true, IssuedAt: r.IssuedAt, CreatedAt: s.cycle,
 			},
 			readyAt: s.cycle + s.latency,
 		})
+		s.pool.Put(r) // answered: the reply carries everything the SM needs
 		return true
 	}
 	s.stats.Misses++
-	primary, ok := s.mshrs.Allocate(lineAddr, r.ID)
+	primary, ok := s.mshrs.Allocate(lineAddr, r)
 	if !ok {
 		// process() checked MSHR availability before the tag access.
 		panic(fmt.Sprintf("llc slice %d: MSHR allocation failed after capacity check", s.id))
 	}
-	s.mshrReqs[lineAddr] = append(s.mshrReqs[lineAddr], r)
 	if primary {
 		s.emitDRAM(DRAMRequest{Addr: lineAddr, Fill: true})
 	}
@@ -308,11 +319,12 @@ func (s *Slice) processWrite(r *mem.Request, res cache.Result) bool {
 		s.emitDRAM(DRAMRequest{Addr: res.EvictedAddr, Write: true})
 	}
 	// Stores do not generate replies: GPU stores retire at issue.
+	s.pool.Put(r)
 	return true
 }
 
 func (s *Slice) emitDRAM(d DRAMRequest) {
-	s.dramOut = append(s.dramOut, d)
+	s.dramOut.PushBack(d)
 	if d.Write {
 		s.stats.Writebacks++
 	}
@@ -321,21 +333,20 @@ func (s *Slice) emitDRAM(d DRAMRequest) {
 // DRAMComplete notifies the slice that the read of lineAddr finished. The
 // line is filled and all merged requesters receive replies.
 func (s *Slice) DRAMComplete(lineAddr uint64) {
-	reqs := s.mshrs.Complete(lineAddr)
-	waiting := s.mshrReqs[lineAddr]
-	delete(s.mshrReqs, lineAddr)
-	if reqs == nil && waiting == nil {
+	waiting := s.mshrs.Complete(lineAddr)
+	if waiting == nil {
 		panic(fmt.Sprintf("llc slice %d: fill for %#x without outstanding miss", s.id, lineAddr))
 	}
 	s.stats.Fills++
 	for _, r := range waiting {
-		s.replyOut = append(s.replyOut, pendingReply{
+		s.replyOut.PushBack(pendingReply{
 			reply: mem.Reply{
 				ReqID: r.ID, Addr: r.Addr, SM: r.SM, Warp: r.Warp, AppID: r.AppID,
 				HitLLC: false, IssuedAt: r.IssuedAt, CreatedAt: s.cycle,
 			},
 			readyAt: s.cycle, // DRAM latency already elapsed
 		})
+		s.pool.Put(r)
 	}
 }
 
@@ -343,37 +354,32 @@ func (s *Slice) DRAMComplete(lineAddr uint64) {
 // consume it if the memory controller accepted it; otherwise call
 // UnpopDRAMRequest to retry later.
 func (s *Slice) PopDRAMRequest() (DRAMRequest, bool) {
-	if len(s.dramOut) == 0 {
+	if s.dramOut.Len() == 0 {
 		return DRAMRequest{}, false
 	}
-	d := s.dramOut[0]
-	copy(s.dramOut, s.dramOut[1:])
-	s.dramOut = s.dramOut[:len(s.dramOut)-1]
-	return d, true
+	return s.dramOut.PopFront(), true
 }
 
 // UnpopDRAMRequest puts d back at the head of the DRAM output queue.
 func (s *Slice) UnpopDRAMRequest(d DRAMRequest) {
-	s.dramOut = append([]DRAMRequest{d}, s.dramOut...)
+	s.dramOut.PushFront(d)
 }
 
 // PopReply returns the next reply whose LLC latency has elapsed. The caller
 // must only consume it if the reply network accepted it; otherwise call
 // UnpopReply.
 func (s *Slice) PopReply(cycle uint64) (mem.Reply, bool) {
-	if len(s.replyOut) == 0 || s.replyOut[0].readyAt > cycle {
+	if s.replyOut.Len() == 0 || s.replyOut.Front().readyAt > cycle {
 		return mem.Reply{}, false
 	}
-	pr := s.replyOut[0]
-	copy(s.replyOut, s.replyOut[1:])
-	s.replyOut = s.replyOut[:len(s.replyOut)-1]
+	pr := s.replyOut.PopFront()
 	s.stats.RepliesSent++
 	return pr.reply, true
 }
 
 // UnpopReply puts r back at the head of the reply queue (it remains ready).
 func (s *Slice) UnpopReply(r mem.Reply) {
-	s.replyOut = append([]pendingReply{{reply: r, readyAt: 0}}, s.replyOut...)
+	s.replyOut.PushFront(pendingReply{reply: r, readyAt: 0})
 	s.stats.RepliesSent--
 }
 

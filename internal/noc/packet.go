@@ -24,7 +24,11 @@
 // model — without simulating individual flit traversals.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
 
 // Packet is one network transaction: a memory request (1 flit) or a data
 // reply / write packet (header + cache line payload).
@@ -36,8 +40,13 @@ type Packet struct {
 	InjectedAt  uint64
 	DeliveredAt uint64
 	Hops        int
-	// Meta carries the simulator's request context across the network.
-	Meta any
+	// Req carries the memory request across the request network (nil on the
+	// reply network and for synthetic traffic). The payload fields are typed
+	// rather than an `any` so that carrying a reply by value does not box an
+	// allocation per packet.
+	Req *mem.Request
+	// Reply carries the response across the reply network (zero otherwise).
+	Reply mem.Reply
 }
 
 // Stats accumulates activity and latency statistics for one network.

@@ -1,11 +1,15 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ring"
+)
 
 // inQueue is one router input buffer (the single virtual channel of a port).
 // Capacity is expressed in flits; packets occupy their flit count.
 type inQueue struct {
-	packets   []*Packet
+	packets   ring.Deque[*Packet]
 	capFlits  int
 	usedFlits int
 	// injBusyUntil serializes injections over the link feeding this queue at
@@ -24,23 +28,21 @@ func (q *inQueue) reserve(flits int) { q.usedFlits += flits }
 
 // pushReserved appends a packet whose flits were already reserved.
 func (q *inQueue) pushReserved(p *Packet) {
-	q.packets = append(q.packets, p)
+	q.packets.PushBack(p)
 }
 
 // pop removes and returns the head packet, releasing its flits.
 func (q *inQueue) pop() *Packet {
-	p := q.packets[0]
-	copy(q.packets, q.packets[1:])
-	q.packets = q.packets[:len(q.packets)-1]
+	p := q.packets.PopFront()
 	q.usedFlits -= p.Flits
 	return p
 }
 
 func (q *inQueue) head() *Packet {
-	if len(q.packets) == 0 {
+	if q.packets.Len() == 0 {
 		return nil
 	}
-	return q.packets[0]
+	return q.packets.Front()
 }
 
 // outPort is a router output port. It serializes packets at one flit per
@@ -60,7 +62,7 @@ type outPort struct {
 	pipeLatency int
 
 	busyUntil  uint64
-	candidates []*inQueue // FIFO of input queues whose head packet routes here
+	candidates ring.Deque[*inQueue] // FIFO of input queues whose head packet routes here
 	inflight   []inflightPkt
 }
 
@@ -91,7 +93,7 @@ func (r *router) registerHead(q *inQueue, net *xbarNet) {
 		panic(fmt.Sprintf("noc: router %s routed packet dst=%d to invalid port %d", r.name, h.Dst, idx))
 	}
 	port := r.outPorts[idx]
-	port.candidates = append(port.candidates, q)
+	port.candidates.PushBack(q)
 	q.servedBy = port
 }
 
@@ -219,14 +221,14 @@ func (n *xbarNet) tickPort(r *router, port *outPort) {
 	}
 
 	// 2. Start a new transmission if the port is free and a candidate waits.
-	if n.cycle < port.busyUntil || len(port.candidates) == 0 {
+	if n.cycle < port.busyUntil || port.candidates.Len() == 0 {
 		return
 	}
-	q := port.candidates[0]
+	q := port.candidates.Front()
 	p := q.head()
 	if p == nil {
 		// Defensive: should not happen, drop the stale candidate.
-		port.candidates = port.candidates[1:]
+		port.candidates.PopFront()
 		q.servedBy = nil
 		return
 	}
@@ -236,7 +238,7 @@ func (n *xbarNet) tickPort(r *router, port *outPort) {
 
 	// Dequeue from the input buffer and occupy the output for the packet's
 	// serialization time.
-	port.candidates = port.candidates[1:]
+	port.candidates.PopFront()
 	q.servedBy = nil
 	q.pop()
 	r.registerHead(q, n)

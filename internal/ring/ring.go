@@ -1,0 +1,99 @@
+// Package ring provides a growable ring-buffer deque used for every queue on
+// the simulator's per-cycle hot path (SM output queues, LLC input/output
+// queues, NoC port buffers).
+//
+// All operations are O(1) amortized: the head-pop and head-unpop (retry)
+// patterns that previously cost O(n) per operation on slice-backed queues
+// become index arithmetic. The buffer only ever grows (by doubling), so a
+// deque that has reached its steady-state depth performs zero allocations.
+// Capacity is kept a power of two so that index wrapping is a mask, not a
+// division.
+package ring
+
+const minCap = 8
+
+// Deque is a double-ended queue over a growable ring buffer. The zero value
+// is an empty deque ready for use. Deques are not safe for concurrent use.
+type Deque[T any] struct {
+	buf  []T // len(buf) is always 0 or a power of two
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of elements in the deque.
+func (d *Deque[T]) Len() int { return d.n }
+
+// Cap returns the current capacity of the backing buffer.
+func (d *Deque[T]) Cap() int { return len(d.buf) }
+
+// PushBack appends v at the tail.
+func (d *Deque[T]) PushBack(v T) {
+	d.grow()
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+// PushFront inserts v at the head (the retry/unpop operation).
+func (d *Deque[T]) PushFront(v T) {
+	d.grow()
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.n++
+}
+
+// PopFront removes and returns the head element. It panics on an empty deque.
+func (d *Deque[T]) PopFront() T {
+	if d.n == 0 {
+		panic("ring: PopFront on empty deque")
+	}
+	v := d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero // release references for GC
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return v
+}
+
+// Front returns the head element without removing it. It panics on an empty
+// deque.
+func (d *Deque[T]) Front() T {
+	if d.n == 0 {
+		panic("ring: Front on empty deque")
+	}
+	return d.buf[d.head]
+}
+
+// At returns the i-th element from the front (0 = head) without removing it.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.n {
+		panic("ring: index out of range")
+	}
+	return d.buf[(d.head+i)&(len(d.buf)-1)]
+}
+
+// Clear removes all elements, releasing references but keeping the buffer.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.n; i++ {
+		d.buf[(d.head+i)&(len(d.buf)-1)] = zero
+	}
+	d.head, d.n = 0, 0
+}
+
+// grow doubles the buffer when full, copying elements into front-to-back
+// order starting at index 0.
+func (d *Deque[T]) grow() {
+	if d.n < len(d.buf) {
+		return
+	}
+	newCap := len(d.buf) * 2
+	if newCap < minCap {
+		newCap = minCap
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)&(len(d.buf)-1)]
+	}
+	d.buf = buf
+	d.head = 0
+}

@@ -1,0 +1,152 @@
+package ring
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	if d.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", d.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", d.Len())
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	var d Deque[int]
+	// Interleave pushes and pops so head circles the buffer many times
+	// without triggering growth past the minimum capacity.
+	next, expect := 0, 0
+	for i := 0; i < 1000; i++ {
+		d.PushBack(next)
+		next++
+		d.PushBack(next)
+		next++
+		if got := d.PopFront(); got != expect {
+			t.Fatalf("iter %d: PopFront = %d, want %d", i, got, expect)
+		}
+		expect++
+	}
+	if d.Cap() > 2048 {
+		t.Fatalf("capacity %d grew unreasonably for max depth %d", d.Cap(), d.Len())
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got != expect {
+			t.Fatalf("drain: PopFront = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d elements, pushed %d", expect, next)
+	}
+}
+
+func TestGrowPreservesOrder(t *testing.T) {
+	var d Deque[int]
+	// Offset the head so growth has to un-wrap a wrapped buffer.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 6; i++ {
+		d.PopFront()
+	}
+	for i := 0; i < 200; i++ { // forces several doublings
+		d.PushBack(i)
+	}
+	for i := 0; i < 200; i++ {
+		if got := d.PopFront(); got != i {
+			t.Fatalf("PopFront = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	var d Deque[string]
+	d.PushBack("b")
+	d.PushBack("c")
+	d.PushFront("a") // the unpop/retry pattern
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if got := d.At(i); got != w {
+			t.Fatalf("At(%d) = %q, want %q", i, got, w)
+		}
+	}
+	for _, w := range want {
+		if got := d.PopFront(); got != w {
+			t.Fatalf("PopFront = %q, want %q", got, w)
+		}
+	}
+}
+
+func TestFrontAndAt(t *testing.T) {
+	var d Deque[int]
+	d.PushBack(7)
+	d.PushBack(8)
+	if d.Front() != 7 {
+		t.Fatalf("Front = %d, want 7", d.Front())
+	}
+	if d.At(1) != 8 {
+		t.Fatalf("At(1) = %d, want 8", d.At(1))
+	}
+	if d.Front() != 7 || d.Len() != 2 {
+		t.Fatal("Front/At must not consume elements")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 20; i++ {
+		d.PushBack(i)
+	}
+	capBefore := d.Cap()
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after Clear, want 0", d.Len())
+	}
+	if d.Cap() != capBefore {
+		t.Fatalf("Clear must keep the buffer (cap %d -> %d)", capBefore, d.Cap())
+	}
+	d.PushBack(42)
+	if d.PopFront() != 42 {
+		t.Fatal("deque unusable after Clear")
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty deque must panic")
+		}
+	}()
+	var d Deque[int]
+	d.PopFront()
+}
+
+func TestSteadyStateNoAlloc(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 16; i++ {
+		d.PushBack(i)
+	}
+	for d.Len() > 0 {
+		d.PopFront()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ {
+			d.PushBack(i)
+		}
+		for d.Len() > 0 {
+			d.PopFront()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run, want 0", avg)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/pool"
+	"repro/internal/ring"
 	"repro/internal/workload"
 )
 
@@ -70,8 +72,12 @@ type warp struct {
 	readyAt     uint64 // cycle at which the warp becomes ready again (ALU / L1 hit)
 	waitingMem  bool   // blocked on an outstanding load
 	blockedLine uint64 // line address the warp is waiting for
-	pending     *workload.Op
-	issued      uint64
+	// pending holds an operation that could not issue (structural stall) and
+	// must be retried. It is stored by value: a pointer here would force every
+	// operation returned by the workload onto the heap.
+	pending    workload.Op
+	hasPending bool
+	issued     uint64
 }
 
 // SM is one streaming multiprocessor.
@@ -81,15 +87,20 @@ type SM struct {
 	cfg     config.Config
 
 	l1    *cache.Cache
-	mshrs *cache.MSHRTable
+	mshrs *cache.MSHRTable[uint64] // payload: merged request IDs
 	warps []warp
 
 	// current warp per scheduler for GTO scheduling; warps are statically
 	// partitioned across schedulers by slot index modulo scheduler count.
 	current []int
 
-	outQ    []*mem.Request
+	outQ    ring.Deque[*mem.Request]
 	outQCap int
+
+	// pool recycles retired requests. It is shared with the LLC slices (which
+	// release requests once answered) via UseRequestPool, so the steady-state
+	// issue path allocates nothing.
+	pool *pool.FreeList[mem.Request]
 
 	reqCounter uint64
 	cycle      uint64
@@ -118,10 +129,20 @@ func New(id, cluster int, cfg config.Config) *SM {
 		cluster: cluster,
 		cfg:     cfg,
 		l1:      l1,
-		mshrs:   cache.NewMSHRTable(cfg.L1MSHRs, 0),
+		mshrs:   cache.NewMSHRTable[uint64](cfg.L1MSHRs, 0),
 		warps:   make([]warp, cfg.MaxWarpsPerSM),
 		current: current,
 		outQCap: 8,
+		pool:    &pool.FreeList[mem.Request]{},
+	}
+}
+
+// UseRequestPool replaces the SM's request pool. The GPU shares one pool
+// between all SMs (which acquire requests) and all LLC slices (which release
+// them), closing the recycling loop.
+func (s *SM) UseRequestPool(p *pool.FreeList[mem.Request]) {
+	if p != nil {
+		s.pool = p
 	}
 }
 
@@ -149,7 +170,7 @@ func (s *SM) SetApp(appID int) { s.appID = appID }
 func (s *SM) OutstandingLoads() int { return s.mshrs.Occupancy() }
 
 // Pending reports whether the SM has outstanding misses or unsent requests.
-func (s *SM) Pending() bool { return s.mshrs.Occupancy() > 0 || len(s.outQ) > 0 }
+func (s *SM) Pending() bool { return s.mshrs.Occupancy() > 0 || s.outQ.Len() > 0 }
 
 // Tick advances the SM by one cycle, pulling instructions from prog.
 func (s *SM) Tick(cycle uint64, prog workload.Program) {
@@ -169,10 +190,11 @@ func (s *SM) issueOne(sched int, prog workload.Program) {
 	}
 	s.current[sched] = w
 
-	op := s.warps[w].pending
-	if op == nil {
-		next := prog.NextOp(s.id, w)
-		op = &next
+	var op workload.Op
+	if s.warps[w].hasPending {
+		op = s.warps[w].pending
+	} else {
+		op = prog.NextOp(s.id, w)
 	}
 	if !op.IsMem {
 		lat := op.ALULatency
@@ -211,15 +233,21 @@ func (s *SM) ready(w int) bool {
 }
 
 func (s *SM) retire(w int) {
-	s.warps[w].pending = nil
+	s.warps[w].hasPending = false
 	s.warps[w].issued++
 	s.stats.Instructions++
 }
 
-func (s *SM) issueStore(w int, op *workload.Op) {
-	if len(s.outQ) >= s.outQCap {
-		s.warps[w].pending = op
-		s.stats.StallStructural++
+// stall parks op on warp w for retry next cycle.
+func (s *SM) stall(w int, op workload.Op) {
+	s.warps[w].pending = op
+	s.warps[w].hasPending = true
+	s.stats.StallStructural++
+}
+
+func (s *SM) issueStore(w int, op workload.Op) {
+	if s.outQ.Len() >= s.outQCap {
+		s.stall(w, op)
 		return
 	}
 	// Write-through, no-allocate L1: update the line if present, always
@@ -227,21 +255,20 @@ func (s *SM) issueStore(w int, op *workload.Op) {
 	if s.l1.Probe(op.Addr) {
 		s.l1.Access(op.Addr, cache.Write, -1)
 	}
-	s.outQ = append(s.outQ, s.newRequest(op.Addr, true, w))
+	s.outQ.PushBack(s.newRequest(op.Addr, true, w))
 	s.retire(w)
 	s.stats.MemInstructions++
 	s.stats.Stores++
 	s.warps[w].readyAt = s.cycle + 1
 }
 
-func (s *SM) issueLoad(w int, op *workload.Op) {
+func (s *SM) issueLoad(w int, op workload.Op) {
 	lineAddr := s.l1.LineAddr(op.Addr)
 
 	// Merge into an outstanding miss if one exists for this line.
 	if s.mshrs.Outstanding(lineAddr) {
 		if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
-			s.warps[w].pending = op
-			s.stats.StallStructural++
+			s.stall(w, op)
 			return
 		}
 		s.blockOnLine(w, lineAddr)
@@ -255,9 +282,8 @@ func (s *SM) issueLoad(w int, op *workload.Op) {
 	// A fresh miss needs both an MSHR and request-queue space; check before
 	// touching the tags so a structural stall leaves no side effects.
 	wouldMiss := !s.l1.Probe(op.Addr)
-	if wouldMiss && (!s.mshrs.CanAccept(lineAddr) || len(s.outQ) >= s.outQCap) {
-		s.warps[w].pending = op
-		s.stats.StallStructural++
+	if wouldMiss && (!s.mshrs.CanAccept(lineAddr) || s.outQ.Len() >= s.outQCap) {
+		s.stall(w, op)
 		return
 	}
 
@@ -274,7 +300,7 @@ func (s *SM) issueLoad(w int, op *workload.Op) {
 	if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
 		panic(fmt.Sprintf("sm %d: MSHR allocation failed after capacity check", s.id))
 	}
-	s.outQ = append(s.outQ, s.newRequest(lineAddr, false, w))
+	s.outQ.PushBack(s.newRequest(lineAddr, false, w))
 	s.blockOnLine(w, lineAddr)
 }
 
@@ -285,33 +311,30 @@ func (s *SM) blockOnLine(w int, lineAddr uint64) {
 
 func (s *SM) newRequest(addr uint64, write bool, warpSlot int) *mem.Request {
 	s.reqCounter++
-	return &mem.Request{
-		ID:       uint64(s.id)<<40 | s.reqCounter,
-		Addr:     addr,
-		Write:    write,
-		SM:       s.id,
-		Cluster:  s.cluster,
-		Warp:     warpSlot,
-		IssuedAt: s.cycle,
-		AppID:    s.appID,
-	}
+	r := s.pool.Get()
+	r.ID = uint64(s.id)<<40 | s.reqCounter
+	r.Addr = addr
+	r.Write = write
+	r.SM = s.id
+	r.Cluster = s.cluster
+	r.Warp = warpSlot
+	r.IssuedAt = s.cycle
+	r.AppID = s.appID
+	return r
 }
 
 // PopRequest removes and returns the next outgoing memory request, if any.
 // If the caller fails to inject it into the NoC it must call UnpopRequest.
 func (s *SM) PopRequest() (*mem.Request, bool) {
-	if len(s.outQ) == 0 {
+	if s.outQ.Len() == 0 {
 		return nil, false
 	}
-	r := s.outQ[0]
-	copy(s.outQ, s.outQ[1:])
-	s.outQ = s.outQ[:len(s.outQ)-1]
-	return r, true
+	return s.outQ.PopFront(), true
 }
 
 // UnpopRequest puts r back at the head of the outgoing queue.
 func (s *SM) UnpopRequest(r *mem.Request) {
-	s.outQ = append([]*mem.Request{r}, s.outQ...)
+	s.outQ.PushFront(r)
 }
 
 // CompleteLoad delivers a reply from the memory system: the L1 line is
