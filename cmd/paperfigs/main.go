@@ -7,6 +7,11 @@
 // execution. Per-run seeding makes parallel output byte-identical to serial
 // output, so parallelism only changes the reported wall-clock time.
 //
+// With -server, figure generation is farmed out to a running simd daemon
+// instead of simulating locally: the daemon's content-addressed result
+// store answers previously computed runs instantly, and the printed figure
+// text is byte-identical to local output for the same options.
+//
 // Examples:
 //
 //	paperfigs -figure all
@@ -14,9 +19,11 @@
 //	paperfigs -figures 11,12,13 -workers 4
 //	paperfigs -figure 7 -cycles 40000
 //	paperfigs -figure tables
+//	paperfigs -figure all -server http://127.0.0.1:8404
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
 	"repro/internal/sweep"
 )
 
@@ -46,6 +55,7 @@ func run() int {
 		progressFlag = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
+		serverFlag   = flag.String("server", "", "farm figure generation out to a simd daemon at this base URL (e.g. http://127.0.0.1:8404); -parallel/-workers then apply server-side")
 	)
 	flag.Parse()
 
@@ -124,27 +134,12 @@ func run() int {
 		}
 	}
 
-	type job struct {
-		name string
-		run  func() (string, error)
-	}
-	jobs := map[string]job{
-		"tables": {"Tables 1 and 2", func() (string, error) { return exp.Table1() + "\n" + exp.Table2(), nil }},
-		"2":      {"Figure 2", func() (string, error) { r, err := exp.Figure2(opt); return format(r, err) }},
-		"3":      {"Figure 3", func() (string, error) { r, err := exp.Figure3(opt); return format(r, err) }},
-		"7":      {"Figure 7", func() (string, error) { r, err := exp.Figure7(opt); return format(r, err) }},
-		"11":     {"Figure 11", func() (string, error) { r, err := exp.Figure11(opt); return format(r, err) }},
-		"12":     {"Figure 12", func() (string, error) { r, err := exp.Figure12(opt); return format(r, err) }},
-		"13":     {"Figure 13", func() (string, error) { r, err := exp.Figure13(opt); return format(r, err) }},
-		"14":     {"Figure 14", func() (string, error) { r, err := exp.Figure14(opt); return format(r, err) }},
-		"15":     {"Figure 15", func() (string, error) { r, err := exp.Figure15(opt); return format(r, err) }},
-		"16":     {"Figure 16", func() (string, error) { r, err := exp.Figure16(opt); return format(r, err) }},
-	}
-	order := []string{"tables", "2", "3", "7", "11", "12", "13", "14", "15", "16"}
-
 	selected := []string{*figureFlag}
 	if *figureFlag == "all" {
-		selected = order
+		selected = nil
+		for _, f := range exp.Figures() {
+			selected = append(selected, f.Key)
+		}
 	}
 	if *figuresFlag != "" {
 		selected = nil
@@ -158,44 +153,85 @@ func run() int {
 			return 1
 		}
 	}
-	// Validate the whole selection before simulating anything: a typo at the
-	// end of the list must not cost the runtime of the figures before it.
+	// Validate the whole selection before simulating anything: a typo or a
+	// duplicate at the end of the list must not cost the runtime of the
+	// figures before it.
+	seen := map[string]bool{}
 	for _, key := range selected {
-		if _, ok := jobs[key]; !ok {
+		if _, ok := exp.FigureByKey(key); !ok {
 			fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", key)
+			return 1
+		}
+		if seen[key] {
+			fmt.Fprintf(os.Stderr, "paperfigs: figure %q requested twice\n", key)
+			return 1
+		}
+		seen[key] = true
+	}
+
+	// In -server mode every figure is generated by the daemon; verify it is
+	// reachable before starting.
+	var remote *client.Client
+	if *serverFlag != "" {
+		remote = client.New(*serverFlag)
+		if _, err := remote.Health(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -server: %v\n", err)
 			return 1
 		}
 	}
 
+	failed := 0
 	totalStart := time.Now()
 	for _, key := range selected {
-		j := jobs[key]
+		j, _ := exp.FigureByKey(key)
 		start := time.Now()
-		out, err := j.run()
+		var (
+			out    string
+			err    error
+			remark string
+		)
+		if remote != nil {
+			var resp *api.FigureResponse
+			// Seed is sent unconditionally (the local path applies the flag
+			// unconditionally too, and 0 is a legal seed).
+			resp, err = remote.Figure(context.Background(), key, api.FigureOptions{
+				Quick:  *quickFlag,
+				Cycles: *cyclesFlag,
+				Warmup: *warmupFlag,
+				Seed:   seedFlag,
+			})
+			if err == nil {
+				out = resp.Text
+				remark = fmt.Sprintf(" via %s (%d cached, %d simulated runs)",
+					*serverFlag, resp.CachedRuns, resp.ExecutedRuns)
+			}
+		} else {
+			out, err = j.Run(opt)
+		}
 		if err != nil {
 			if showProgress {
 				// An aborted sweep leaves the in-place progress line behind.
 				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
 			}
-			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", j.name, err)
-			return 1
+			// Report and continue: one failing figure must not cost the
+			// remaining ones, but the exit code stays non-zero.
+			fmt.Fprintf(os.Stderr, "paperfigs: %s: %v\n", j.Name, err)
+			failed++
+			continue
 		}
 		fmt.Println(out)
-		fmt.Printf("[%s regenerated in %.1fs]\n\n", j.name, time.Since(start).Seconds())
+		fmt.Printf("[%s regenerated in %.1fs%s]\n\n", j.Name, time.Since(start).Seconds(), remark)
 	}
 	mode := "serial"
-	if workers > 1 {
+	if remote != nil {
+		mode = "server " + *serverFlag
+	} else if workers > 1 {
 		mode = fmt.Sprintf("%d workers", workers)
 	}
 	fmt.Printf("[total: %.1fs, %s]\n", time.Since(totalStart).Seconds(), mode)
-	return 0
-}
-
-type formatter interface{ Format() string }
-
-func format(r formatter, err error) (string, error) {
-	if err != nil {
-		return "", err
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d requested figures failed\n", failed, len(selected))
+		return 1
 	}
-	return r.Format(), nil
+	return 0
 }

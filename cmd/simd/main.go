@@ -1,0 +1,88 @@
+// Command simd serves the GPU simulator as a network service: an HTTP/JSON
+// API over the sweep engine with a content-addressed result store, so any
+// run computed once — by any client — is a cache hit forever after (the
+// simulator is deterministic; see DESIGN.md "Determinism-based result
+// caching").
+//
+//	simd                         # serve on 127.0.0.1:8404, store in ./simstore
+//	simd -addr :9000 -workers 8  # all interfaces, pinned simulation pool
+//	simd -addr 127.0.0.1:0       # random port (printed on startup)
+//
+// Try it:
+//
+//	curl -s localhost:8404/healthz
+//	curl -s -X POST localhost:8404/v1/runs?wait=1 \
+//	     -d '{"benchmarks":["VA"],"measure_cycles":20000}'
+//	curl -s localhost:8404/v1/figures/2?quick=1
+//	curl -s localhost:8404/metrics
+//
+// The second identical POST returns "cached": true with byte-identical
+// statistics, without simulating. cmd/paperfigs -server farms whole figures
+// to a running daemon.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/simstore"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addrFlag    = flag.String("addr", "127.0.0.1:8404", "listen address (host:port; port 0 picks a free port)")
+		storeFlag   = flag.String("store", "simstore", "result store directory (created if missing)")
+		workersFlag = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxFlag     = flag.Int("max-entries", 0, "LRU bound on stored results (0 = unbounded)")
+	)
+	flag.Parse()
+
+	store, err := simstore.Open(*storeFlag, simstore.Options{MaxEntries: *maxFlag})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return 1
+	}
+	srv := server.New(server.Config{Store: store, Workers: *workersFlag})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addrFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return 1
+	}
+	// The startup line is machine-readable: scripts extract the URL to
+	// support -addr :0 (the CI smoke job does).
+	fmt.Printf("simd: listening on http://%s (store %s, %d entries, %d workers)\n",
+		ln.Addr(), store.Dir(), store.Len(), srv.Workers())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("simd: %s, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+		return 0
+	case err := <-errc:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

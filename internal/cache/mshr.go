@@ -29,6 +29,10 @@ type MSHRTable[P any] struct {
 	// freePayloads recycles the per-entry payload backing slices.
 	freePayloads [][]P
 
+	// stamp counts structural changes (entry insert/remove/reset); a Probe
+	// taken before such a change cannot be Commit-ed after it.
+	stamp uint64
+
 	peakOccupancy int
 	allocations   uint64
 	merges        uint64
@@ -69,25 +73,124 @@ func (m *MSHRTable[P]) CanAccept(lineAddr uint64) bool {
 	return len(m.lines) < m.capacity
 }
 
+// ProbeKind classifies the outcome of a single MSHR lookup.
+type ProbeKind uint8
+
+const (
+	// ProbeNew: the line has no outstanding miss and a free entry exists; a
+	// miss can allocate a new (primary) entry.
+	ProbeNew ProbeKind = iota
+	// ProbeMerge: the line has an outstanding miss with merge room; a miss
+	// merges into it as a secondary.
+	ProbeMerge
+	// ProbeMergeLimit: the line has an outstanding miss whose merge limit is
+	// reached; the access must stall.
+	ProbeMergeLimit
+	// ProbeTableFull: the line has no outstanding miss and the table is
+	// full; a miss would stall (a cache hit can still proceed).
+	ProbeTableFull
+)
+
+// Probe is the cached result of one MSHRTable lookup. It answers the
+// questions a memory pipeline asks about a line (Outstanding? CanAccept?)
+// and, if the access turns out to be a miss, finishes the allocation via
+// Commit — all from the single scan performed by MSHRTable.Probe. A Probe is
+// invalidated by any structural table change (Commit of a new entry,
+// Complete, Reset); committing a stale Probe panics.
+type Probe struct {
+	lineAddr uint64
+	idx      int
+	kind     ProbeKind
+	stamp    uint64
+}
+
+// Kind returns the lookup's classification.
+func (p Probe) Kind() ProbeKind { return p.kind }
+
+// Outstanding reports whether the probed line already has an entry
+// (equivalent to MSHRTable.Outstanding, without re-scanning).
+func (p Probe) Outstanding() bool { return p.kind == ProbeMerge || p.kind == ProbeMergeLimit }
+
+// CanAccept reports whether a miss on the probed line can be accepted
+// (equivalent to MSHRTable.CanAccept, without re-scanning).
+func (p Probe) CanAccept() bool { return p.kind == ProbeNew || p.kind == ProbeMerge }
+
+// Probe is the combined probe-and-allocate entry point: it performs the one
+// linear scan for lineAddr and returns a Probe that answers the
+// Outstanding/CanAccept questions and can be handed to Commit to finish a
+// miss allocation — where the three separate calls each scanned the packed
+// line array per memory operation.
+//
+// A ProbeMergeLimit outcome is counted as a full stall here (such an access
+// always stalls); a ProbeTableFull outcome is not, because the access may
+// still hit in the cache and never need the entry — it is counted by
+// Allocate when an allocation is actually rejected, exactly as the
+// separate-call API did.
+func (m *MSHRTable[P]) Probe(lineAddr uint64) Probe {
+	p := Probe{lineAddr: lineAddr, idx: -1, stamp: m.stamp}
+	if i := m.find(lineAddr); i >= 0 {
+		p.idx = i
+		if m.maxMergedPer != 0 && len(m.payloads[i]) >= m.maxMergedPer {
+			p.kind = ProbeMergeLimit
+			m.fullStalls++
+		} else {
+			p.kind = ProbeMerge
+		}
+		return p
+	}
+	if len(m.lines) >= m.capacity {
+		p.kind = ProbeTableFull
+	} else {
+		p.kind = ProbeNew
+	}
+	return p
+}
+
+// Commit finishes the miss allocation a Probe approved, without re-scanning
+// the table: a ProbeMerge appends payload to the existing entry and returns
+// primary=false; a ProbeNew inserts a fresh entry and returns primary=true
+// (the caller must send the fill request to the next level). Committing a
+// stalled or stale Probe is a caller bug and panics.
+func (m *MSHRTable[P]) Commit(p Probe, payload P) (primary bool) {
+	if p.stamp != m.stamp {
+		panic("cache: MSHR Commit with a stale Probe (table changed since the lookup)")
+	}
+	switch p.kind {
+	case ProbeMerge:
+		if m.lines[p.idx] != p.lineAddr {
+			panic("cache: MSHR Probe index no longer matches its line")
+		}
+		m.payloads[p.idx] = append(m.payloads[p.idx], payload)
+		m.merges++
+		return false
+	case ProbeNew:
+		m.insert(p.lineAddr, payload)
+		return true
+	default:
+		panic("cache: MSHR Commit on a stalled Probe")
+	}
+}
+
 // Allocate records a miss for payload on lineAddr. It returns primary=true
 // if this is the first outstanding miss for the line (and therefore a
 // request must be sent to the next level), or primary=false if it merged
 // into an existing entry. ok=false means the table is full and the miss must
-// stall.
+// stall. Hot paths that already need Outstanding/CanAccept answers should
+// use Probe/Commit instead and pay for one scan total.
 func (m *MSHRTable[P]) Allocate(lineAddr uint64, payload P) (primary, ok bool) {
-	if i := m.find(lineAddr); i >= 0 {
-		if m.maxMergedPer != 0 && len(m.payloads[i]) >= m.maxMergedPer {
-			m.fullStalls++
-			return false, false
-		}
-		m.payloads[i] = append(m.payloads[i], payload)
-		m.merges++
-		return false, true
-	}
-	if len(m.lines) >= m.capacity {
+	p := m.Probe(lineAddr)
+	switch p.kind {
+	case ProbeMergeLimit: // Probe already counted the stall
+		return false, false
+	case ProbeTableFull:
 		m.fullStalls++
 		return false, false
 	}
+	return m.Commit(p, payload), true
+}
+
+// insert adds a new entry for lineAddr, reusing a recycled payload slice.
+func (m *MSHRTable[P]) insert(lineAddr uint64, payload P) {
 	var ps []P
 	if n := len(m.freePayloads); n > 0 {
 		ps = m.freePayloads[n-1][:0]
@@ -98,11 +201,11 @@ func (m *MSHRTable[P]) Allocate(lineAddr uint64, payload P) (primary, ok bool) {
 	}
 	m.lines = append(m.lines, lineAddr)
 	m.payloads = append(m.payloads, append(ps, payload))
+	m.stamp++
 	m.allocations++
 	if len(m.lines) > m.peakOccupancy {
 		m.peakOccupancy = len(m.lines)
 	}
-	return true, true
 }
 
 // Complete removes the entry for lineAddr and returns the merged payloads
@@ -123,6 +226,7 @@ func (m *MSHRTable[P]) Complete(lineAddr uint64) []P {
 	m.payloads[last] = nil
 	m.payloads = m.payloads[:last]
 	m.freePayloads = append(m.freePayloads, reqs)
+	m.stamp++
 	return reqs
 }
 
@@ -157,6 +261,7 @@ func (m *MSHRTable[P]) Reset() {
 	}
 	m.lines = m.lines[:0]
 	m.payloads = m.payloads[:0]
+	m.stamp++
 	m.peakOccupancy = 0
 	m.allocations, m.merges, m.fullStalls = 0, 0, 0
 }

@@ -86,6 +86,87 @@ func TestMSHRPeakAndReset(t *testing.T) {
 	}
 }
 
+func TestMSHRProbeCommit(t *testing.T) {
+	m := NewMSHRTable[uint64](2, 0)
+
+	// Empty table: a probe offers a new allocation.
+	p := m.Probe(0x100)
+	if p.Kind() != ProbeNew || p.Outstanding() || !p.CanAccept() {
+		t.Fatalf("probe of empty table = %v (outstanding=%v canAccept=%v), want ProbeNew",
+			p.Kind(), p.Outstanding(), p.CanAccept())
+	}
+	if primary := m.Commit(p, 1); !primary {
+		t.Fatal("commit of ProbeNew must be primary")
+	}
+
+	// Same line again: merge.
+	p = m.Probe(0x100)
+	if p.Kind() != ProbeMerge || !p.Outstanding() || !p.CanAccept() {
+		t.Fatalf("probe of outstanding line = %v, want ProbeMerge", p.Kind())
+	}
+	if primary := m.Commit(p, 2); primary {
+		t.Fatal("commit of ProbeMerge must not be primary")
+	}
+	if m.Allocations() != 1 || m.Merges() != 1 {
+		t.Errorf("allocations=%d merges=%d, want 1,1", m.Allocations(), m.Merges())
+	}
+
+	// Fill the table: probing a third line reports full, without counting a
+	// stall (the access may still hit in the cache).
+	m.Commit(m.Probe(0x200), 3)
+	p = m.Probe(0x300)
+	if p.Kind() != ProbeTableFull || p.Outstanding() || p.CanAccept() {
+		t.Fatalf("probe of full table = %v, want ProbeTableFull", p.Kind())
+	}
+	if m.FullStalls() != 0 {
+		t.Errorf("ProbeTableFull counted %d full stalls, want 0", m.FullStalls())
+	}
+
+	// Completion returns the merged payloads in arrival order.
+	if reqs := m.Complete(0x100); len(reqs) != 2 || reqs[0] != 1 || reqs[1] != 2 {
+		t.Errorf("Complete returned %v, want [1 2]", reqs)
+	}
+}
+
+func TestMSHRProbeMergeLimitCountsStall(t *testing.T) {
+	m := NewMSHRTable[uint64](4, 1)
+	m.Commit(m.Probe(0x100), 1)
+	p := m.Probe(0x100)
+	if p.Kind() != ProbeMergeLimit || !p.Outstanding() || p.CanAccept() {
+		t.Fatalf("probe of merge-limited line = %v, want ProbeMergeLimit", p.Kind())
+	}
+	// A merge-limited access always stalls, so the probe itself counts it —
+	// matching what Allocate counted when it rejected the merge.
+	if m.FullStalls() != 1 {
+		t.Errorf("FullStalls = %d, want 1", m.FullStalls())
+	}
+}
+
+func TestMSHRCommitStaleProbePanics(t *testing.T) {
+	m := NewMSHRTable[uint64](4, 0)
+	m.Commit(m.Probe(0x100), 1)
+	p := m.Probe(0x100) // ProbeMerge
+	m.Complete(0x100)   // structural change invalidates p
+	defer func() {
+		if recover() == nil {
+			t.Error("commit of a stale probe must panic")
+		}
+	}()
+	m.Commit(p, 2)
+}
+
+func TestMSHRCommitStalledProbePanics(t *testing.T) {
+	m := NewMSHRTable[uint64](1, 0)
+	m.Commit(m.Probe(0x100), 1)
+	p := m.Probe(0x200) // ProbeTableFull
+	defer func() {
+		if recover() == nil {
+			t.Error("commit of a stalled probe must panic")
+		}
+	}()
+	m.Commit(p, 2)
+}
+
 func TestMSHRPanicsOnInvalidCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {

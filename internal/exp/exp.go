@@ -54,6 +54,16 @@ type Options struct {
 	// Progress, when non-nil, is called after every completed run of a
 	// figure's sweep (used by paperfigs for progress reporting).
 	Progress func(sweep.Progress)
+
+	// Exec, when non-nil, replaces the local worker-pool Runner as the
+	// engine that executes a figure's declared runs. The simd server injects
+	// a store-backed executor here so every run first consults the
+	// content-addressed result cache and misses share one execution across
+	// concurrent figure requests. Implementations must honor the
+	// sweep.Executor contract (positional results, identical results for
+	// identical specs); Workers and Progress are ignored when Exec is set —
+	// the executor owns its own parallelism and progress delivery.
+	Exec sweep.Executor
 }
 
 // DefaultOptions returns the scale used by the committed experiment results.
@@ -112,8 +122,11 @@ func modeKey(abbr string, mode config.LLCMode) string {
 // and returns the statistics keyed by RunSpec.Key. This is the single
 // execution path shared by every figure: declare []RunSpec, runAll, collect.
 func (o Options) runAll(specs []sweep.RunSpec) (map[string]gpu.RunStats, error) {
-	r := &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress}
-	results, err := r.Run(context.Background(), specs)
+	exec := o.Exec
+	if exec == nil {
+		exec = &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress}
+	}
+	results, err := exec.Run(context.Background(), specs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,14 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -50,6 +53,64 @@ func TestOptionsAndHelpers(t *testing.T) {
 	tbl := formatTable([]string{"a", "b"}, [][]string{{"1", "22"}})
 	if !strings.Contains(tbl, "a") || !strings.Contains(tbl, "22") {
 		t.Errorf("formatTable output missing content:\n%s", tbl)
+	}
+}
+
+// recordingExec counts executor invocations without simulating anything.
+type recordingExec struct {
+	calls int
+	specs int
+	err   error
+}
+
+func (e *recordingExec) Run(_ context.Context, specs []sweep.RunSpec) ([]sweep.Result, error) {
+	e.calls++
+	e.specs += len(specs)
+	return nil, e.err
+}
+
+// TestInjectedExecutor checks that a figure's declared runs are handed to
+// Options.Exec instead of the local Runner when one is injected.
+func TestInjectedExecutor(t *testing.T) {
+	exec := &recordingExec{err: errors.New("remote backend unavailable")}
+	o := tinyOptions()
+	o.Exec = exec
+	if _, err := Figure3(o); err == nil || !strings.Contains(err.Error(), "remote backend unavailable") {
+		t.Fatalf("Figure3 error = %v, want the injected executor's error", err)
+	}
+	if exec.calls != 1 {
+		t.Errorf("executor invoked %d times, want 1", exec.calls)
+	}
+	if exec.specs != len(workload.Catalog()) {
+		t.Errorf("executor received %d specs, want %d (one per benchmark)",
+			exec.specs, len(workload.Catalog()))
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	figs := Figures()
+	wantKeys := []string{"tables", "2", "3", "7", "11", "12", "13", "14", "15", "16"}
+	if len(figs) != len(wantKeys) {
+		t.Fatalf("registry has %d entries, want %d", len(figs), len(wantKeys))
+	}
+	for i, want := range wantKeys {
+		if figs[i].Key != want {
+			t.Errorf("registry[%d].Key = %q, want %q", i, figs[i].Key, want)
+		}
+		if figs[i].Name == "" || figs[i].Run == nil {
+			t.Errorf("registry entry %q incomplete", figs[i].Key)
+		}
+	}
+	if _, ok := FigureByKey("99"); ok {
+		t.Error("FigureByKey accepted an unknown key")
+	}
+	job, ok := FigureByKey("tables")
+	if !ok {
+		t.Fatal("tables entry missing")
+	}
+	out, err := job.Run(tinyOptions())
+	if err != nil || !strings.Contains(out, "80 SMs") {
+		t.Errorf("tables job: err=%v, output missing Table 1 content", err)
 	}
 }
 

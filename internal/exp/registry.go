@@ -1,0 +1,52 @@
+package exp
+
+// FigureJob is one regenerable unit of the paper's evaluation: a key (the
+// figure number, or "tables"), a human-readable name, and a runner that
+// executes the figure's sweep under the given Options and returns its
+// formatted text. The registry is the single catalog shared by
+// cmd/paperfigs and the simd figure endpoint, so both always agree on which
+// figures exist and produce byte-identical text for equal Options.
+type FigureJob struct {
+	Key  string
+	Name string
+	Run  func(Options) (string, error)
+}
+
+// formatted adapts a FigureN harness to the registry's text-returning shape.
+func formatted[R interface{ Format() string }](run func(Options) (R, error)) func(Options) (string, error) {
+	return func(o Options) (string, error) {
+		r, err := run(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	}
+}
+
+// Figures returns every regenerable figure and table, in paper order.
+func Figures() []FigureJob {
+	return []FigureJob{
+		{Key: "tables", Name: "Tables 1 and 2", Run: func(Options) (string, error) {
+			return Table1() + "\n" + Table2(), nil
+		}},
+		{Key: "2", Name: "Figure 2", Run: formatted(Figure2)},
+		{Key: "3", Name: "Figure 3", Run: formatted(Figure3)},
+		{Key: "7", Name: "Figure 7", Run: formatted(Figure7)},
+		{Key: "11", Name: "Figure 11", Run: formatted(Figure11)},
+		{Key: "12", Name: "Figure 12", Run: formatted(Figure12)},
+		{Key: "13", Name: "Figure 13", Run: formatted(Figure13)},
+		{Key: "14", Name: "Figure 14", Run: formatted(Figure14)},
+		{Key: "15", Name: "Figure 15", Run: formatted(Figure15)},
+		{Key: "16", Name: "Figure 16", Run: formatted(Figure16)},
+	}
+}
+
+// FigureByKey looks up a registry entry by its key.
+func FigureByKey(key string) (FigureJob, bool) {
+	for _, f := range Figures() {
+		if f.Key == key {
+			return f, true
+		}
+	}
+	return FigureJob{}, false
+}

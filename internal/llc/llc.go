@@ -233,14 +233,20 @@ func (s *Slice) Tick(cycle uint64) {
 func (s *Slice) process(r *mem.Request) bool {
 	lineAddr := s.tags.LineAddr(r.Addr)
 
+	// One MSHR lookup answers the merge question, the acceptance question
+	// and — if the read misses — performs the allocation (Probe/Commit;
+	// formerly Outstanding, CanAccept and Allocate each scanned the table).
+	var probe cache.Probe
 	if !r.Write {
+		probe = s.mshrs.Probe(lineAddr)
 		// A read that merges into an outstanding miss does not need a tag
 		// access outcome of its own.
-		if s.mshrs.Outstanding(lineAddr) {
-			if _, ok := s.mshrs.Allocate(lineAddr, r); !ok {
+		if probe.Outstanding() {
+			if !probe.CanAccept() {
 				s.stats.MSHRStalls++
 				return false
 			}
+			s.mshrs.Commit(probe, r)
 			s.stats.Accesses++
 			s.stats.Reads++
 			s.stats.Hits++
@@ -249,7 +255,7 @@ func (s *Slice) process(r *mem.Request) bool {
 		}
 		// A read that would miss needs an MSHR; stall before touching the
 		// tags (and the statistics) if none is available.
-		if !s.tags.Probe(r.Addr) && !s.mshrs.CanAccept(lineAddr) {
+		if !s.tags.Probe(r.Addr) && !probe.CanAccept() {
 			s.stats.MSHRStalls++
 			return false
 		}
@@ -276,10 +282,10 @@ func (s *Slice) process(r *mem.Request) bool {
 	if r.Write {
 		return s.processWrite(r, res)
 	}
-	return s.processRead(r, lineAddr, res)
+	return s.processRead(r, lineAddr, probe, res)
 }
 
-func (s *Slice) processRead(r *mem.Request, lineAddr uint64, res cache.Result) bool {
+func (s *Slice) processRead(r *mem.Request, lineAddr uint64, probe cache.Probe, res cache.Result) bool {
 	if res.Hit {
 		s.stats.Hits++
 		s.replyOut.PushBack(pendingReply{
@@ -293,12 +299,7 @@ func (s *Slice) processRead(r *mem.Request, lineAddr uint64, res cache.Result) b
 		return true
 	}
 	s.stats.Misses++
-	primary, ok := s.mshrs.Allocate(lineAddr, r)
-	if !ok {
-		// process() checked MSHR availability before the tag access.
-		panic(fmt.Sprintf("llc slice %d: MSHR allocation failed after capacity check", s.id))
-	}
-	if primary {
+	if s.mshrs.Commit(probe, r) {
 		s.emitDRAM(DRAMRequest{Addr: lineAddr, Fill: true})
 	}
 	return true

@@ -1,0 +1,272 @@
+// Package api defines the JSON wire types of the simd HTTP API. It is
+// shared by the server (internal/server) and the Go client
+// (internal/server/client), so the two can never disagree about the
+// protocol; third-party clients can treat the struct tags here as the API
+// reference.
+package api
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Spec is the wire form of one simulation run. It is a convenience layer
+// over sweep.RunSpec: benchmarks can be named by their Table 2 catalog
+// abbreviation and the GPU configuration defaults to the paper's baseline,
+// so the minimal useful request is {"benchmarks":["VA"],"measure_cycles":20000}.
+// Two Specs that resolve to the same canonical RunSpec are the same run —
+// the server fingerprints the resolved spec, not the wire form.
+type Spec struct {
+	// Key optionally names the run in responses; it does not affect results
+	// or caching.
+	Key string `json:"key,omitempty"`
+	// Benchmarks are workload catalog abbreviations (e.g. "VA", "GEMM");
+	// several entries co-execute as a multi-program workload. They combine
+	// with Workloads, which spells out full synthetic specs instead.
+	Benchmarks []string        `json:"benchmarks,omitempty"`
+	Workloads  []workload.Spec `json:"workloads,omitempty"`
+	// Mode is the LLC organization: "shared" (default), "private" or
+	// "adaptive". It is applied to the baseline configuration, or to Config
+	// if one is given (only when Mode is non-empty).
+	Mode string `json:"mode,omitempty"`
+	// Config optionally replaces the paper's Table 1 baseline entirely.
+	Config *config.Config `json:"config,omitempty"`
+	// AppModes assigns each co-running application its own LLC view
+	// (multi-program adaptive mode), named like Mode.
+	AppModes []string `json:"app_modes,omitempty"`
+
+	Seed          int64  `json:"seed,omitempty"`
+	MeasureCycles uint64 `json:"measure_cycles"`
+	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
+	Kernels       int    `json:"kernels,omitempty"`
+
+	// TracePath replays a recorded trace (a path on the server's
+	// filesystem) instead of synthetic workloads; TraceLoop selects the
+	// end-of-trace policy.
+	TracePath string `json:"trace_path,omitempty"`
+	TraceLoop bool   `json:"trace_loop,omitempty"`
+}
+
+// ParseLLCMode maps the wire names to config.LLCMode.
+func ParseLLCMode(s string) (config.LLCMode, error) {
+	for _, m := range []config.LLCMode{config.LLCShared, config.LLCPrivate, config.LLCAdaptive} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown LLC mode %q (want shared, private or adaptive)", s)
+}
+
+// ToRunSpec resolves the wire spec into the engine's RunSpec. Errors are
+// client errors (unknown benchmark, bad mode, invalid configuration).
+func (s Spec) ToRunSpec() (sweep.RunSpec, error) {
+	rs := sweep.RunSpec{
+		Key:           s.Key,
+		Seed:          s.Seed,
+		MeasureCycles: s.MeasureCycles,
+		WarmupCycles:  s.WarmupCycles,
+		Kernels:       s.Kernels,
+		TracePath:     s.TracePath,
+		TraceLoop:     s.TraceLoop,
+	}
+	for _, abbr := range s.Benchmarks {
+		w, ok := workload.ByAbbr(abbr)
+		if !ok {
+			return rs, fmt.Errorf("unknown benchmark %q (see the Table 2 catalog)", abbr)
+		}
+		rs.Workloads = append(rs.Workloads, w)
+	}
+	rs.Workloads = append(rs.Workloads, s.Workloads...)
+
+	cfg := config.Baseline()
+	if s.Config != nil {
+		cfg = *s.Config
+	}
+	if s.Mode != "" {
+		mode, err := ParseLLCMode(s.Mode)
+		if err != nil {
+			return rs, err
+		}
+		cfg.LLCMode = mode
+	}
+	rs.Config = cfg
+
+	for _, name := range s.AppModes {
+		mode, err := ParseLLCMode(name)
+		if err != nil {
+			return rs, fmt.Errorf("app_modes: %w", err)
+		}
+		rs.AppModes = append(rs.AppModes, mode)
+	}
+
+	switch {
+	case s.MeasureCycles == 0:
+		return rs, fmt.Errorf("measure_cycles must be positive")
+	case len(rs.Workloads) == 0 && rs.TracePath == "":
+		return rs, fmt.Errorf("a run needs benchmarks, workloads or a trace_path")
+	case len(rs.Workloads) > 0 && rs.TracePath != "":
+		return rs, fmt.Errorf("trace_path and benchmarks/workloads are mutually exclusive")
+	}
+	if err := rs.Config.Validate(); err != nil {
+		return rs, fmt.Errorf("invalid configuration: %w", err)
+	}
+	return rs, nil
+}
+
+// RunRequest is the body of POST /v1/runs: a batch of runs. A bare Spec
+// object (no "specs" wrapper) is also accepted for single-run requests.
+type RunRequest struct {
+	Specs []Spec `json:"specs"`
+}
+
+// Job states reported by the API.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+)
+
+// RunResult is the per-spec outcome in a RunResponse. A store hit carries
+// Status "done", Cached true and the statistics inline; a miss carries the
+// job ID executing it (and, with ?wait=1, its final state and statistics).
+type RunResult struct {
+	Key         string        `json:"key,omitempty"`
+	Fingerprint string        `json:"fingerprint"`
+	Cached      bool          `json:"cached"`
+	Status      string        `json:"status"`
+	JobID       string        `json:"job_id,omitempty"`
+	Stats       *gpu.RunStats `json:"stats,omitempty"`
+	Error       string        `json:"error,omitempty"`
+}
+
+// RunResponse is the body answering POST /v1/runs.
+type RunResponse struct {
+	Results []RunResult `json:"results"`
+}
+
+// Progress mirrors sweep.Progress on the wire (figure jobs report it while
+// their runs complete).
+type Progress struct {
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Key   string `json:"key,omitempty"`
+}
+
+// JobStatus is the body of GET /v1/runs/{id} (and the payload of SSE status
+// events). Run jobs carry Stats when done; figure jobs carry FigureText.
+type JobStatus struct {
+	ID          string        `json:"id"`
+	Kind        string        `json:"kind"` // "run" or "figure"
+	Status      string        `json:"status"`
+	Key         string        `json:"key,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	FigureKey   string        `json:"figure_key,omitempty"`
+	Progress    *Progress     `json:"progress,omitempty"`
+	Stats       *gpu.RunStats `json:"stats,omitempty"`
+	FigureText  string        `json:"figure_text,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	// DurationMs is the execution wall-clock of a finished job.
+	DurationMs int64 `json:"duration_ms,omitempty"`
+	// CachedRuns / ExecutedRuns count a figure job's store hits vs. actual
+	// simulations.
+	CachedRuns   int `json:"cached_runs,omitempty"`
+	ExecutedRuns int `json:"executed_runs,omitempty"`
+}
+
+// Event is one SSE message on GET /v1/jobs/{id}/events. Type "status"
+// carries the full job snapshot; type "progress" carries one per-run
+// progress tick of a figure job.
+type Event struct {
+	Type     string     `json:"type"`
+	Job      *JobStatus `json:"job,omitempty"`
+	Progress *Progress  `json:"progress,omitempty"`
+}
+
+// FigureOptions scale a figure request, mirroring the paperfigs flags: zero
+// values mean the server's defaults (exp.DefaultOptions, or QuickOptions
+// with Quick set). Seed is a pointer because 0 is a legal seed distinct
+// from "use the default": nil keeps the server's default seed.
+type FigureOptions struct {
+	Quick  bool
+	Cycles uint64
+	Warmup uint64
+	Seed   *int64
+}
+
+// Query encodes the options as URL query parameters.
+func (o FigureOptions) Query() url.Values {
+	v := url.Values{}
+	if o.Quick {
+		v.Set("quick", "1")
+	}
+	if o.Cycles > 0 {
+		v.Set("cycles", strconv.FormatUint(o.Cycles, 10))
+	}
+	if o.Warmup > 0 {
+		v.Set("warmup", strconv.FormatUint(o.Warmup, 10))
+	}
+	if o.Seed != nil {
+		v.Set("seed", strconv.FormatInt(*o.Seed, 10))
+	}
+	return v
+}
+
+// ParseFigureOptions decodes Query's encoding (the server side).
+func ParseFigureOptions(v url.Values) (FigureOptions, error) {
+	var o FigureOptions
+	o.Quick = v.Get("quick") == "1" || v.Get("quick") == "true"
+	var err error
+	if s := v.Get("cycles"); s != "" {
+		if o.Cycles, err = strconv.ParseUint(s, 10, 64); err != nil {
+			return o, fmt.Errorf("cycles: %w", err)
+		}
+	}
+	if s := v.Get("warmup"); s != "" {
+		if o.Warmup, err = strconv.ParseUint(s, 10, 64); err != nil {
+			return o, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	if s := v.Get("seed"); s != "" {
+		seed, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("seed: %w", err)
+		}
+		o.Seed = &seed
+	}
+	return o, nil
+}
+
+// FigureResponse is the body of a synchronous GET /v1/figures/{key} (async
+// requests carry only JobID). Text is byte-identical to what cmd/paperfigs
+// prints locally for the same options.
+type FigureResponse struct {
+	Key          string `json:"key"`
+	Name         string `json:"name"`
+	Text         string `json:"text,omitempty"`
+	CachedRuns   int    `json:"cached_runs"`
+	ExecutedRuns int    `json:"executed_runs"`
+	DurationMs   int64  `json:"duration_ms"`
+	JobID        string `json:"job_id,omitempty"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	StoreDir      string  `json:"store_dir"`
+	StoreEntries  int     `json:"store_entries"`
+	Workers       int     `json:"workers"`
+}
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,164 @@
+// Package client is the Go client for the simd HTTP API (internal/server).
+// cmd/paperfigs uses it in -server mode to farm figure generation out to a
+// warm daemon whose result store makes repeat figures near-instant.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/server/api"
+)
+
+// Client talks to one simd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8404".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Simulations can run long,
+	// so callers wanting timeouts should bound the request context rather
+	// than the whole client.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out; non-2xx
+// responses are returned as errors carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rdr io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rdr)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: read: %w", method, path, err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr api.Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: %s %s: decode: %w", method, path, err)
+	}
+	return nil
+}
+
+// Health checks the daemon's liveness.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Runs submits a batch of runs. With wait set, the response carries final
+// statuses and statistics for every spec; otherwise misses come back as
+// queued job IDs to poll via Job/WaitJob.
+func (c *Client) Runs(ctx context.Context, req api.RunRequest, wait bool) (*api.RunResponse, error) {
+	path := "/v1/runs"
+	if wait {
+		path += "?wait=1"
+	}
+	var resp api.RunResponse
+	if err := c.do(ctx, http.MethodPost, path, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Cancel requests cancellation of a job and returns its resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// WaitJob polls until the job reaches a terminal state (or ctx expires).
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case api.StatusDone, api.StatusFailed, api.StatusCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Figure regenerates one paper figure on the daemon and returns its
+// formatted text (byte-identical to local paperfigs output for the same
+// options) plus cache statistics.
+func (c *Client) Figure(ctx context.Context, key string, opt api.FigureOptions) (*api.FigureResponse, error) {
+	path := "/v1/figures/" + url.PathEscape(key)
+	if q := opt.Query().Encode(); q != "" {
+		path += "?" + q
+	}
+	var resp api.FigureResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,530 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/gpu"
+	"repro/internal/server/api"
+	"repro/internal/simstore"
+	"repro/internal/sweep"
+)
+
+// Job is one asynchronous unit of work: either a single simulation run
+// (kind "run", bounded by the worker pool) or a whole-figure orchestration
+// (kind "figure", running on its own goroutine and feeding its runs back
+// through the same queue). All mutable fields are guarded by the owning
+// Queue's mutex.
+type Job struct {
+	ID        string
+	Kind      string // api's "run" / "figure"
+	Key       string
+	FigureKey string
+
+	fp   [32]byte
+	spec sweep.RunSpec
+
+	state        string
+	stats        gpu.RunStats
+	figureText   string
+	errMsg       string
+	progress     *api.Progress
+	started      time.Time
+	durationMs   int64
+	cachedRuns   int
+	executedRuns int
+
+	// cancel stops a figure job's executor between runs; run jobs have no
+	// preemption point (the simulator runs to completion) and only honor
+	// cancellation while still queued.
+	cancel context.CancelFunc
+	ctx    context.Context
+
+	// done is closed on entry to any terminal state.
+	done chan struct{}
+	subs map[chan api.Event]struct{}
+}
+
+func terminal(state string) bool {
+	return state == api.StatusDone || state == api.StatusFailed || state == api.StatusCancelled
+}
+
+// QueueStats are the queue's observability counters (served by /metrics).
+type QueueStats struct {
+	Workers   int
+	Queued    int
+	Running   int
+	Executed  uint64 // simulations actually run
+	Completed uint64
+	Failed    uint64
+	Cancelled uint64
+	DedupHits uint64 // submissions attached to an already-in-flight job
+}
+
+// Queue owns the jobs: a bounded worker pool executes run jobs, the store
+// absorbs their results, and an in-flight index deduplicates submissions so
+// two clients posting the same spec share one execution.
+type Queue struct {
+	store   *simstore.Store
+	workers int
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // fingerprint hex -> queued/running run job
+	seq      uint64
+	stats    QueueStats
+
+	pending chan *Job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewQueue starts a queue with the given simulation worker count (0 uses
+// GOMAXPROCS).
+func NewQueue(store *simstore.Store, workers int) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	q := &Queue{
+		store:    store,
+		workers:  workers,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		pending:  make(chan *Job, 4096),
+		quit:     make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Close stops the workers after their current runs finish. Queued jobs stay
+// queued (a restarted daemon re-resolves them from the store or re-runs).
+func (q *Queue) Close() {
+	close(q.quit)
+	q.wg.Wait()
+}
+
+func (q *Queue) newJobLocked(kind string) *Job {
+	q.seq++
+	j := &Job{
+		ID:    fmt.Sprintf("j%06d", q.seq),
+		Kind:  kind,
+		state: api.StatusQueued,
+		done:  make(chan struct{}),
+		subs:  make(map[chan api.Event]struct{}),
+	}
+	q.jobs[j.ID] = j
+	return j
+}
+
+// Submitted is the outcome of SubmitRun: either a store hit with the
+// statistics in hand, or the job (new or shared) executing the miss.
+type Submitted struct {
+	Fingerprint string
+	Cached      bool
+	Stats       gpu.RunStats
+	Job         *Job
+	// Shared marks a dedup hit: Job was created by an earlier submission,
+	// so this submitter must not cancel it on its own account.
+	Shared bool
+}
+
+// SubmitRun routes one run through the cache: a store hit returns
+// immediately, a miss is enqueued, and a spec already queued or running —
+// no matter who submitted it — is shared rather than re-enqueued.
+func (q *Queue) SubmitRun(key string, spec sweep.RunSpec) (Submitted, error) {
+	canon := spec.Canonical()
+	fp, err := simstore.Fingerprint(canon)
+	if err != nil {
+		return Submitted{}, err
+	}
+	hexFP := simstore.Hex(fp)
+	if rec, ok := q.store.Get(fp); ok {
+		return Submitted{Fingerprint: hexFP, Cached: true, Stats: rec.Stats}, nil
+	}
+
+	q.mu.Lock()
+	if j, ok := q.inflight[hexFP]; ok {
+		q.stats.DedupHits++
+		q.mu.Unlock()
+		return Submitted{Fingerprint: hexFP, Job: j, Shared: true}, nil
+	}
+	// The unlocked store miss above races with a concurrent worker finishing
+	// this very spec (Put + inflight delete); re-check the store before
+	// committing to a brand-new simulation of an already-cached run. This
+	// extra read only happens on the about-to-enqueue path.
+	if rec, ok := q.store.Get(fp); ok {
+		q.mu.Unlock()
+		return Submitted{Fingerprint: hexFP, Cached: true, Stats: rec.Stats}, nil
+	}
+	j := q.newJobLocked("run")
+	j.Key = key
+	j.fp = fp
+	j.spec = canon
+	j.spec.Key = j.ID // names the run in engine error messages
+	q.inflight[hexFP] = j
+	q.mu.Unlock()
+
+	select {
+	case q.pending <- j:
+	default:
+		q.mu.Lock()
+		delete(q.inflight, hexFP)
+		delete(q.jobs, j.ID)
+		q.mu.Unlock()
+		return Submitted{}, fmt.Errorf("job queue full (%d pending)", cap(q.pending))
+	}
+	return Submitted{Fingerprint: hexFP, Job: j}, nil
+}
+
+// SubmitFigure starts a whole-figure orchestration as a job. The figure's
+// runs go through SubmitRun, so they hit the store, share in-flight
+// executions, and respect the simulation worker bound; the orchestration
+// itself runs on its own goroutine (it would deadlock the pool its runs
+// need). Cancellation stops it at the next run boundary.
+func (q *Queue) SubmitFigure(fig exp.FigureJob, opt exp.Options) *Job {
+	q.mu.Lock()
+	j := q.newJobLocked("figure")
+	j.FigureKey = fig.Key
+	j.Key = fig.Name
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.state = api.StatusRunning
+	j.started = time.Now()
+	q.stats.Running++
+	q.mu.Unlock()
+
+	go func() {
+		ex := &storeExec{q: q, ctx: j.ctx, onProgress: func(p sweep.Progress) {
+			q.setProgress(j, p)
+		}}
+		opt.Exec = ex
+		text, err := runFigureSafely(fig, opt)
+		q.finishFigure(j, text, ex, err)
+	}()
+	return j
+}
+
+// runFigureSafely converts a panicking harness into a failed job, so one bad
+// request cannot take the daemon down.
+func runFigureSafely(fig exp.FigureJob, opt exp.Options) (text string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("figure %s panicked: %v", fig.Key, r)
+		}
+	}()
+	return fig.Run(opt)
+}
+
+// executeSafely is the run-job equivalent of runFigureSafely.
+func executeSafely(spec sweep.RunSpec) (stats gpu.RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run panicked: %v", r)
+		}
+	}()
+	return sweep.Execute(spec)
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.quit:
+			return
+		case j := <-q.pending:
+			if !q.begin(j) {
+				continue // cancelled while queued
+			}
+			stats, err := executeSafely(j.spec)
+			if err == nil {
+				// A store write failure degrades caching, not correctness:
+				// the computed statistics are still returned.
+				q.store.Put(j.fp, j.Key, j.spec, stats)
+			}
+			q.finishRun(j, stats, err)
+		}
+	}
+}
+
+// begin moves a queued job to running; false means it was cancelled.
+func (q *Queue) begin(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.state != api.StatusQueued {
+		return false
+	}
+	j.state = api.StatusRunning
+	j.started = time.Now()
+	q.stats.Running++
+	q.publishStatusLocked(j)
+	return true
+}
+
+func (q *Queue) finishRun(j *Job, stats gpu.RunStats, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Running--
+	q.stats.Executed++
+	j.durationMs = time.Since(j.started).Milliseconds()
+	if err != nil {
+		j.state = api.StatusFailed
+		j.errMsg = err.Error()
+		q.stats.Failed++
+	} else {
+		j.state = api.StatusDone
+		j.stats = stats
+		q.stats.Completed++
+	}
+	delete(q.inflight, simstore.Hex(j.fp))
+	q.publishStatusLocked(j)
+	close(j.done)
+}
+
+func (q *Queue) finishFigure(j *Job, text string, ex *storeExec, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.stats.Running--
+	j.durationMs = time.Since(j.started).Milliseconds()
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || j.ctx.Err() != nil):
+		j.state = api.StatusCancelled
+		j.errMsg = err.Error()
+		q.stats.Cancelled++
+	case err != nil:
+		j.state = api.StatusFailed
+		j.errMsg = err.Error()
+		q.stats.Failed++
+	default:
+		j.state = api.StatusDone
+		j.figureText = text
+		q.stats.Completed++
+	}
+	j.cachedRuns, j.executedRuns = ex.cachedRuns, ex.executedRuns
+	q.publishStatusLocked(j)
+	close(j.done)
+}
+
+func (q *Queue) setProgress(j *Job, p sweep.Progress) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	prog := &api.Progress{Done: p.Done, Total: p.Total, Key: p.Key}
+	j.progress = prog
+	q.publishLocked(j, api.Event{Type: "progress", Progress: prog})
+}
+
+// Cancel requests cancellation of a job. A queued run job is terminated
+// immediately (note: a job shared by deduplicated submissions is cancelled
+// for all of them); a running figure job stops at its next run boundary; a
+// running run job cannot be preempted (the simulator has no internal
+// preemption points) and reports its current state.
+func (q *Queue) Cancel(id string) (api.JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return api.JobStatus{}, false
+	}
+	switch {
+	case j.state == api.StatusQueued:
+		j.state = api.StatusCancelled
+		q.stats.Cancelled++
+		delete(q.inflight, simstore.Hex(j.fp))
+		q.publishStatusLocked(j)
+		close(j.done)
+	case j.state == api.StatusRunning && j.cancel != nil:
+		j.cancel()
+	}
+	return q.statusLocked(j), true
+}
+
+// Job returns a job's status snapshot.
+func (q *Queue) Job(id string) (api.JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return api.JobStatus{}, false
+	}
+	return q.statusLocked(j), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, and
+// returns the (then-current) status.
+func (q *Queue) Wait(ctx context.Context, j *Job) api.JobStatus {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.statusLocked(j)
+}
+
+func (q *Queue) statusLocked(j *Job) api.JobStatus {
+	st := api.JobStatus{
+		ID:         j.ID,
+		Kind:       j.Kind,
+		Status:     j.state,
+		Key:        j.Key,
+		FigureKey:  j.FigureKey,
+		Progress:   j.progress,
+		Error:      j.errMsg,
+		DurationMs: j.durationMs,
+	}
+	if j.Kind == "run" {
+		st.Fingerprint = simstore.Hex(j.fp)
+	} else {
+		st.CachedRuns, st.ExecutedRuns = j.cachedRuns, j.executedRuns
+	}
+	if j.state == api.StatusDone {
+		if j.Kind == "run" {
+			stats := j.stats
+			st.Stats = &stats
+		} else {
+			st.FigureText = j.figureText
+		}
+	}
+	return st
+}
+
+// Subscribe attaches an event channel to a job. The current status is
+// delivered first, so a late subscriber still observes a terminal event.
+// The returned func detaches (idempotent).
+func (q *Queue) Subscribe(id string) (<-chan api.Event, func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	ch := make(chan api.Event, 256)
+	st := q.statusLocked(j)
+	ch <- api.Event{Type: "status", Job: &st}
+	j.subs[ch] = struct{}{}
+	unsub := func() {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		delete(j.subs, ch)
+	}
+	return ch, unsub, true
+}
+
+func (q *Queue) publishStatusLocked(j *Job) {
+	st := q.statusLocked(j)
+	q.publishLocked(j, api.Event{Type: "status", Job: &st})
+}
+
+func (q *Queue) publishLocked(j *Job, ev api.Event) {
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			// Slow subscriber: drop the oldest buffered event rather than
+			// block the queue. Keeping the *newest* events matters — the SSE
+			// handler terminates on the final status event, which must never
+			// be the one discarded.
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := q.stats
+	st.Workers = q.workers
+	st.Queued = len(q.pending)
+	return st
+}
+
+// storeExec is the sweep.Executor injected into figure harnesses: every
+// declared run goes through SubmitRun (store hit, in-flight dedup, or a new
+// job on the bounded pool), and completions are reported through the
+// harness's progress hook. It mirrors the Runner contract: positional
+// results, partial results plus the lowest-index error on failure.
+type storeExec struct {
+	q          *Queue
+	ctx        context.Context
+	onProgress func(sweep.Progress)
+
+	cachedRuns   int
+	executedRuns int
+}
+
+func (e *storeExec) Run(ctx context.Context, specs []sweep.RunSpec) ([]sweep.Result, error) {
+	if e.ctx != nil {
+		ctx = e.ctx
+	}
+	results := make([]sweep.Result, len(specs))
+	done := 0
+	report := func(key string) {
+		done++
+		if e.onProgress != nil {
+			e.onProgress(sweep.Progress{Done: done, Total: len(specs), Key: key})
+		}
+	}
+
+	type pending struct {
+		idx int
+		job *Job
+	}
+	var waits []pending
+	for i, s := range specs {
+		results[i] = sweep.Result{Index: i, Key: s.Key}
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		sub, err := e.q.SubmitRun(s.Key, s)
+		switch {
+		case err != nil:
+			results[i].Err = fmt.Errorf("sweep: run %q: %w", s.Key, err)
+			report(s.Key)
+		case sub.Cached:
+			results[i].Stats = sub.Stats
+			e.cachedRuns++
+			report(s.Key)
+		default:
+			waits = append(waits, pending{idx: i, job: sub.Job})
+		}
+	}
+	for _, w := range waits {
+		select {
+		case <-w.job.done:
+		case <-ctx.Done():
+			return results, ctx.Err()
+		}
+		st, _ := e.q.Job(w.job.ID)
+		switch st.Status {
+		case api.StatusDone:
+			results[w.idx].Stats = *st.Stats
+			e.executedRuns++
+		case api.StatusCancelled:
+			results[w.idx].Err = fmt.Errorf("sweep: run %q: job %s cancelled", specs[w.idx].Key, w.job.ID)
+		default:
+			results[w.idx].Err = fmt.Errorf("sweep: run %q: %s", specs[w.idx].Key, st.Error)
+		}
+		report(specs[w.idx].Key)
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, results[i].Err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,329 @@
+// Package server exposes the simulator as a network service: an HTTP/JSON
+// API over the sweep engine, fronted by the content-addressed result store
+// (internal/simstore) and an asynchronous job queue with bounded simulation
+// workers, in-flight deduplication and per-job cancellation.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/runs            submit one spec or a batch; cached results are
+//	                         returned inline, misses get job IDs (?wait=1
+//	                         blocks until every job finishes)
+//	GET  /v1/runs/{id}       job status + statistics when done
+//	GET  /v1/jobs/{id}/events  SSE stream of status/progress events
+//	POST /v1/jobs/{id}/cancel  cancel a queued run or a running figure job
+//	GET  /v1/figures/{key}   regenerate one paper figure, reusing the store
+//	                         for every run (?async=1 returns a job ID;
+//	                         scale with ?cycles=&warmup=&seed=&quick=1)
+//	GET  /healthz            liveness + store/queue summary
+//	GET  /metrics            Prometheus-style plain-text counters
+//
+// Determinism makes the cache exact, not approximate: a spec's fingerprint
+// (simstore.Fingerprint) identifies its RunStats bit-for-bit, so a cache
+// hit is byte-identical to re-running the simulation.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server/api"
+	"repro/internal/simstore"
+	"repro/internal/sweep"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the result store (required).
+	Store *simstore.Store
+	// Workers bounds concurrent simulations; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Server is the simd HTTP handler plus its job queue.
+type Server struct {
+	store   *simstore.Store
+	queue   *Queue
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a Server and starts its worker pool; Close releases it.
+func New(cfg Config) *Server {
+	s := &Server{
+		store:   cfg.Store,
+		queue:   NewQueue(cfg.Store, cfg.Workers),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/figures/{key}", s.handleFigure)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the resolved simulation worker-pool size.
+func (s *Server) Workers() int { return s.queue.Stats().Workers }
+
+// Close stops the worker pool (running simulations finish first).
+func (s *Server) Close() { s.queue.Close() }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBytes bounds request bodies; batch specs are small.
+const maxRequestBytes = 16 << 20
+
+// handleRuns implements POST /v1/runs: resolve every spec, serve store hits
+// inline, enqueue misses (deduplicated against in-flight jobs), and — with
+// ?wait=1 — block until the enqueued jobs finish so the response carries
+// every result.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	var req api.RunRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		// Accept a bare Spec object as a single-run request.
+		var one api.Spec
+		if err := json.Unmarshal(body, &one); err == nil &&
+			(len(one.Benchmarks) > 0 || len(one.Workloads) > 0 || one.TracePath != "") {
+			req.Specs = []api.Spec{one}
+		}
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, `no specs (send {"specs":[...]} or a bare spec object)`)
+		return
+	}
+
+	// Resolve and validate the whole batch before enqueueing anything: a bad
+	// spec at the end of the list must not leave the earlier ones already
+	// simulating against an error response that references no jobs.
+	specs := make([]sweep.RunSpec, len(req.Specs))
+	for i, wireSpec := range req.Specs {
+		spec, err := wireSpec.ToRunSpec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "spec %d: %v", i, err)
+			return
+		}
+		specs[i] = spec
+	}
+
+	results := make([]api.RunResult, len(req.Specs))
+	jobs := make([]*Job, len(req.Specs))
+	// Jobs this request created (not dedup-shared ones owned by earlier
+	// submitters): cancelled if a later spec fails to enqueue, so an error
+	// response never leaves orphaned simulations behind.
+	var ownJobs []*Job
+	for i, wireSpec := range req.Specs {
+		res := api.RunResult{Key: wireSpec.Key}
+		sub, err := s.queue.SubmitRun(wireSpec.Key, specs[i])
+		if err != nil {
+			for _, j := range ownJobs {
+				s.queue.Cancel(j.ID)
+			}
+			writeError(w, http.StatusServiceUnavailable, "spec %d: %v", i, err)
+			return
+		}
+		res.Fingerprint = sub.Fingerprint
+		if sub.Cached {
+			res.Cached = true
+			res.Status = api.StatusDone
+			stats := sub.Stats
+			res.Stats = &stats
+		} else {
+			res.Status = api.StatusQueued
+			res.JobID = sub.Job.ID
+			jobs[i] = sub.Job
+			if !sub.Shared {
+				ownJobs = append(ownJobs, sub.Job)
+			}
+		}
+		results[i] = res
+	}
+
+	if r.URL.Query().Get("wait") == "1" {
+		for i, j := range jobs {
+			if j == nil {
+				continue
+			}
+			st := s.queue.Wait(r.Context(), j)
+			results[i].Status = st.Status
+			results[i].Stats = st.Stats
+			results[i].Error = st.Error
+		}
+	}
+	writeJSON(w, http.StatusOK, api.RunResponse{Results: results})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.queue.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.queue.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleJobEvents streams a job's lifecycle as server-sent events: a
+// "status" event with the current snapshot immediately, then status
+// transitions and (for figure jobs) per-run "progress" events, ending when
+// the job reaches a terminal state.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	events, unsubscribe, ok := s.queue.Subscribe(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	defer unsubscribe()
+
+	flusher, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-events:
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+			if ev.Type == "status" && ev.Job != nil && terminal(ev.Job.Status) {
+				return
+			}
+		}
+	}
+}
+
+// expOptions maps wire figure options to harness options exactly like the
+// paperfigs flags do, so server-generated figure text is byte-identical to
+// local output for the same settings.
+func expOptions(o api.FigureOptions) exp.Options {
+	opt := exp.DefaultOptions()
+	if o.Quick {
+		opt = exp.QuickOptions()
+	}
+	if o.Cycles > 0 {
+		opt.MeasureCycles = o.Cycles
+	}
+	if o.Warmup > 0 {
+		opt.WarmupCycles = o.Warmup
+	}
+	if o.Seed != nil {
+		opt.Seed = *o.Seed
+	}
+	return opt
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	fig, ok := exp.FigureByKey(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown figure %q", key)
+		return
+	}
+	wireOpts, err := api.ParseFigureOptions(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	j := s.queue.SubmitFigure(fig, expOptions(wireOpts))
+	if r.URL.Query().Get("async") == "1" {
+		writeJSON(w, http.StatusAccepted, api.FigureResponse{Key: fig.Key, Name: fig.Name, JobID: j.ID})
+		return
+	}
+
+	st := s.queue.Wait(r.Context(), j)
+	if !terminal(st.Status) {
+		// Client gave up: stop simulating runs nobody will read.
+		s.queue.Cancel(j.ID)
+		return
+	}
+	if st.Status != api.StatusDone {
+		writeError(w, http.StatusInternalServerError, "figure %s: %s", key, st.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.FigureResponse{
+		Key:          fig.Key,
+		Name:         fig.Name,
+		Text:         st.FigureText,
+		CachedRuns:   st.CachedRuns,
+		ExecutedRuns: st.ExecutedRuns,
+		DurationMs:   st.DurationMs,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		StoreDir:      s.store.Dir(),
+		StoreEntries:  s.store.Len(),
+		Workers:       s.queue.Stats().Workers,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	qs := s.queue.Stats()
+	ss := s.store.StoreStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "simd_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "simd_workers %d\n", qs.Workers)
+	fmt.Fprintf(w, "simd_jobs_queued %d\n", qs.Queued)
+	fmt.Fprintf(w, "simd_jobs_running %d\n", qs.Running)
+	fmt.Fprintf(w, "simd_jobs_completed_total %d\n", qs.Completed)
+	fmt.Fprintf(w, "simd_jobs_failed_total %d\n", qs.Failed)
+	fmt.Fprintf(w, "simd_jobs_cancelled_total %d\n", qs.Cancelled)
+	fmt.Fprintf(w, "simd_jobs_dedup_hits_total %d\n", qs.DedupHits)
+	fmt.Fprintf(w, "simd_runs_executed_total %d\n", qs.Executed)
+	fmt.Fprintf(w, "simd_store_entries %d\n", ss.Entries)
+	fmt.Fprintf(w, "simd_store_hits_total %d\n", ss.Hits)
+	fmt.Fprintf(w, "simd_store_misses_total %d\n", ss.Misses)
+	fmt.Fprintf(w, "simd_store_puts_total %d\n", ss.Puts)
+	fmt.Fprintf(w, "simd_store_evictions_total %d\n", ss.Evictions)
+	fmt.Fprintf(w, "simd_store_corrupt_total %d\n", ss.Corrupt)
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/server/api"
+	"repro/internal/server/client"
+	"repro/internal/simstore"
+)
+
+// newTestServer starts a Server over a fresh store and returns a client for
+// it. Everything is torn down with the test.
+func newTestServer(t *testing.T, workers int) (*Server, *client.Client) {
+	t.Helper()
+	store, err := simstore.Open(t.TempDir(), simstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Store: store, Workers: workers})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, client.New(hs.URL)
+}
+
+func tinySpec(key string, seed int64) api.Spec {
+	return api.Spec{
+		Key:           key,
+		Benchmarks:    []string{"VA"},
+		Mode:          "shared",
+		Seed:          seed,
+		MeasureCycles: 3_000,
+		WarmupCycles:  500,
+	}
+}
+
+// TestRunCacheHitByteIdentical is the end-to-end determinism/caching proof:
+// posting the same RunSpec twice returns byte-identical RunStats, with the
+// second response flagged as a store hit and measurably faster (it performs
+// no simulation — just a store read).
+func TestRunCacheHitByteIdentical(t *testing.T) {
+	_, c := newTestServer(t, 2)
+	ctx := context.Background()
+
+	start := time.Now()
+	first, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{tinySpec("first", 1)}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missElapsed := time.Since(start)
+	r1 := first.Results[0]
+	if r1.Cached {
+		t.Fatal("first submission of a spec reported as cached")
+	}
+	if r1.Status != api.StatusDone || r1.Stats == nil {
+		t.Fatalf("first run: status=%s stats=%v error=%q", r1.Status, r1.Stats != nil, r1.Error)
+	}
+	if r1.Stats.Instructions == 0 {
+		t.Fatal("first run made no progress")
+	}
+
+	// Same run, different name: the fingerprint ignores naming.
+	start = time.Now()
+	second, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{tinySpec("renamed", 1)}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitElapsed := time.Since(start)
+	r2 := second.Results[0]
+	if !r2.Cached {
+		t.Fatal("second submission of the same spec was not served from the store")
+	}
+	if r2.Fingerprint != r1.Fingerprint {
+		t.Errorf("fingerprints differ across submissions: %s vs %s", r1.Fingerprint, r2.Fingerprint)
+	}
+
+	stats1, _ := json.Marshal(r1.Stats)
+	stats2, _ := json.Marshal(r2.Stats)
+	if string(stats1) != string(stats2) {
+		t.Errorf("cached stats not byte-identical to computed stats:\n%s\n%s", stats1, stats2)
+	}
+	if hitElapsed >= missElapsed {
+		t.Errorf("cache hit (%v) not faster than the simulating miss (%v)", hitElapsed, missElapsed)
+	}
+}
+
+// TestBatchDedupSharesExecution: equal specs in one batch (or from two
+// clients) share a single job.
+func TestBatchDedupSharesExecution(t *testing.T) {
+	srv, c := newTestServer(t, 2)
+	ctx := context.Background()
+
+	resp, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{
+		tinySpec("a", 42), tinySpec("b", 42), tinySpec("other", 43),
+	}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, other := resp.Results[0], resp.Results[1], resp.Results[2]
+	if a.JobID == "" || a.JobID != b.JobID {
+		t.Errorf("identical specs got jobs %q and %q, want one shared job", a.JobID, b.JobID)
+	}
+	if other.JobID == a.JobID {
+		t.Error("distinct spec shared the job of a different spec")
+	}
+	if a.Status != api.StatusDone || b.Status != api.StatusDone {
+		t.Fatalf("shared job did not complete: %s / %s", a.Status, b.Status)
+	}
+	sa, _ := json.Marshal(a.Stats)
+	sb, _ := json.Marshal(b.Stats)
+	if string(sa) != string(sb) {
+		t.Error("shared execution returned different stats to its two submitters")
+	}
+	if got := srv.queue.Stats().DedupHits; got != 1 {
+		t.Errorf("dedup hits = %d, want 1", got)
+	}
+	// Only one simulation ran; the other two results were a share and a run.
+	if got := srv.queue.Stats().Executed; got != 2 {
+		t.Errorf("executed %d simulations, want 2 (one per distinct spec)", got)
+	}
+}
+
+// TestJobStatusAndEvents covers GET /v1/runs/{id} and the SSE stream.
+func TestJobStatusAndEvents(t *testing.T) {
+	_, c := newTestServer(t, 1)
+	ctx := context.Background()
+
+	resp, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{tinySpec("ev", 7)}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := resp.Results[0].JobID
+	if id == "" {
+		t.Fatal("miss did not return a job ID")
+	}
+
+	// The SSE stream must deliver a terminal status event.
+	sseResp, err := http.Get(c.BaseURL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	var sawDone bool
+	sc := bufio.NewScanner(sseResp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Type == "status" && ev.Job != nil && ev.Job.Status == api.StatusDone {
+			sawDone = true
+			break
+		}
+	}
+	if !sawDone {
+		t.Fatal("SSE stream ended without a done status event")
+	}
+
+	st, err := c.WaitJob(ctx, id, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != api.StatusDone || st.Stats == nil || st.Kind != "run" {
+		t.Fatalf("job status = %+v, want done run with stats", st)
+	}
+	if _, err := c.Job(ctx, "j999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job error = %v, want HTTP 404", err)
+	}
+}
+
+// TestCancelQueuedJob: with one worker busy, a queued job can be cancelled
+// before it ever simulates.
+func TestCancelQueuedJob(t *testing.T) {
+	_, c := newTestServer(t, 1)
+	ctx := context.Background()
+
+	// A moderately long run occupies the only worker...
+	long := tinySpec("long", 1)
+	long.MeasureCycles = 60_000
+	resp, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{long, tinySpec("victim", 2)}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := resp.Results[1].JobID
+
+	st, err := c.Cancel(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != api.StatusCancelled {
+		t.Fatalf("cancelled queued job reports %q, want cancelled", st.Status)
+	}
+	// The long job is unaffected and completes.
+	final, err := c.WaitJob(ctx, resp.Results[0].JobID, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.StatusDone {
+		t.Errorf("long job = %s, want done", final.Status)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	srv, c := newTestServer(t, 1)
+	ctx := context.Background()
+
+	// A bad spec anywhere in a batch must reject the whole batch before any
+	// spec is enqueued: no orphan jobs simulating behind a 400 response.
+	good := tinySpec("good", 1)
+	good.MeasureCycles = 60_000
+	if _, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{
+		good, {Benchmarks: []string{"NOPE"}, MeasureCycles: 1000},
+	}}, false); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("batch with a bad spec: err = %v, want HTTP 400", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if qs := srv.queue.Stats(); qs.Queued != 0 || qs.Running != 0 || qs.Executed != 0 {
+		t.Errorf("rejected batch left work behind: %+v", qs)
+	}
+
+	bad := []api.Spec{
+		{Benchmarks: []string{"NOPE"}, MeasureCycles: 1000},
+		{Benchmarks: []string{"VA"}}, // no cycles
+		{MeasureCycles: 1000},        // no workload
+		{Benchmarks: []string{"VA"}, Mode: "sideways", MeasureCycles: 1000},
+	}
+	for i, spec := range bad {
+		if _, err := c.Runs(ctx, api.RunRequest{Specs: []api.Spec{spec}}, false); err == nil ||
+			!strings.Contains(err.Error(), "400") {
+			t.Errorf("bad spec %d: err = %v, want HTTP 400", i, err)
+		}
+	}
+	if _, err := c.Figure(ctx, "99", api.FigureOptions{}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown figure err = %v, want HTTP 404", err)
+	}
+}
+
+// TestFigureOptionsSeedRoundTrip: seed 0 is a legal seed distinct from
+// "server default" — it must survive the wire and override the default,
+// while an absent seed must not.
+func TestFigureOptionsSeedRoundTrip(t *testing.T) {
+	zero := int64(0)
+	parsed, err := api.ParseFigureOptions(api.FigureOptions{Seed: &zero}.Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := expOptions(parsed).Seed; got != 0 {
+		t.Errorf("explicit seed 0 resolved to %d server-side, want 0", got)
+	}
+	parsed, err = api.ParseFigureOptions(url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := expOptions(parsed).Seed, exp.DefaultOptions().Seed; got != want {
+		t.Errorf("absent seed resolved to %d, want default %d", got, want)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, c := newTestServer(t, 3)
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Workers != 3 {
+		t.Errorf("health = %+v", h)
+	}
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		buf.WriteString(sc.Text() + "\n")
+	}
+	for _, want := range []string{"simd_workers 3", "simd_store_hits_total", "simd_jobs_running"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestFigureMatchesLocalAndCaches is the figure-level acceptance proof: the
+// server's figure text is byte-identical to the local harness output for
+// the same options, and regenerating the figure is served entirely from the
+// store.
+func TestFigureMatchesLocalAndCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow full-GPU simulation; skipped in -short mode")
+	}
+	_, c := newTestServer(t, 0)
+	ctx := context.Background()
+
+	wireOpts := api.FigureOptions{Quick: true, Cycles: 2_500, Warmup: 500}
+
+	// Local reference, exactly as cmd/paperfigs would produce it.
+	fig, _ := exp.FigureByKey("3")
+	local, err := fig.Run(expOptions(wireOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote, err := c.Figure(ctx, "3", wireOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Text != local {
+		t.Errorf("server figure text differs from local harness output:\n--- server\n%s\n--- local\n%s",
+			remote.Text, local)
+	}
+	if remote.ExecutedRuns == 0 || remote.CachedRuns != 0 {
+		t.Errorf("first generation: executed=%d cached=%d, want all executed", remote.ExecutedRuns, remote.CachedRuns)
+	}
+
+	// Second generation: the store answers every run.
+	again, err := c.Figure(ctx, "3", wireOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Text != remote.Text {
+		t.Error("regenerated figure text not byte-identical")
+	}
+	if again.ExecutedRuns != 0 || again.CachedRuns != remote.ExecutedRuns {
+		t.Errorf("regeneration: executed=%d cached=%d, want 0 executed / %d cached",
+			again.ExecutedRuns, again.CachedRuns, remote.ExecutedRuns)
+	}
+
+	// Async mode + SSE: a warm-store figure job still streams progress
+	// events for every run and ends done.
+	sseResp, err := http.Get(c.BaseURL + "/v1/figures/3?async=1&" + wireOpts.Query().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var async api.FigureResponse
+	if err := json.NewDecoder(sseResp.Body).Decode(&async); err != nil {
+		t.Fatal(err)
+	}
+	sseResp.Body.Close()
+	if async.JobID == "" {
+		t.Fatal("async figure request returned no job ID")
+	}
+	ev, err := http.Get(c.BaseURL + "/v1/jobs/" + async.JobID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Body.Close()
+	finalStatus := ""
+	sc := bufio.NewScanner(ev.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var e api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			t.Fatal(err)
+		}
+		// A warm store can finish the job before this subscription attaches;
+		// the first snapshot is then already terminal, carrying the final
+		// progress — so assert on the snapshot, not on streamed ticks.
+		if e.Type == "status" && e.Job != nil && terminal(e.Job.Status) {
+			finalStatus = e.Job.Status
+			if e.Job.FigureText != remote.Text {
+				t.Error("async figure text not byte-identical to sync text")
+			}
+			if e.Job.Progress == nil || e.Job.Progress.Done != e.Job.Progress.Total || e.Job.Progress.Total == 0 {
+				t.Errorf("figure job progress = %+v, want done == total > 0", e.Job.Progress)
+			}
+			break
+		}
+	}
+	if finalStatus != api.StatusDone {
+		t.Fatalf("async figure job ended %q, want done", finalStatus)
+	}
+}

@@ -1,0 +1,273 @@
+package simstore
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/sweep"
+)
+
+// RecordVersion versions the on-disk record layout. Records with a different
+// version are treated as misses (and removed), never misread.
+const RecordVersion = 1
+
+// Record is the unit the store persists: one run's statistics, addressed by
+// the fingerprint of its spec. Spec and Key are informational — they let a
+// human (or the simd API) see what a record is without reverse-engineering
+// the hash — and are not trusted for lookups.
+type Record struct {
+	Version     int           `json:"version"`
+	Fingerprint string        `json:"fingerprint"`
+	Key         string        `json:"key,omitempty"`
+	Spec        sweep.RunSpec `json:"spec"`
+	Stats       gpu.RunStats  `json:"stats"`
+	SavedAtUnix int64         `json:"saved_at_unix"`
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxEntries bounds the number of records kept on disk; once full, the
+	// least-recently-used record is evicted on insert. 0 means unbounded.
+	MaxEntries int
+}
+
+// Stats are the store's observability counters (served by simd's /metrics).
+type Stats struct {
+	Entries   int
+	Hits      uint64
+	Misses    uint64
+	Puts      uint64
+	Evictions uint64
+	Corrupt   uint64
+}
+
+// Store is a content-addressed, on-disk map from run fingerprint to result
+// record. Records are JSON files named <fingerprint>.json inside a two-hex-
+// character shard directory (aa/aabb....json), written atomically
+// (temp file + rename) so a crash never leaves a half-written record behind.
+// Reads tolerate corruption: an unparseable, version-skewed or mislabeled
+// record counts as a miss and the offending file is removed. Recency is an
+// in-memory LRU list seeded from file modification times at Open and
+// persisted back via mtime bumps on hits, so LRU eviction keeps working
+// across daemon restarts.
+//
+// A Store is safe for concurrent use.
+type Store struct {
+	dir string
+	max int
+
+	mu    sync.Mutex
+	index map[string]*list.Element // fingerprint hex -> lru element
+	lru   *list.List               // front = most recently used; values are hex strings
+	stats Stats
+}
+
+// Open creates (if needed) and loads the store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simstore: open: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		max:   opts.MaxEntries,
+		index: make(map[string]*list.Element),
+		lru:   list.New(),
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load seeds the LRU index from the records already on disk, oldest first.
+func (s *Store) load() error {
+	type onDisk struct {
+		hexFP string
+		mtime time.Time
+	}
+	var found []onDisk
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("simstore: scan: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || len(shard.Name()) != 2 {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() {
+				continue
+			}
+			// A crash between CreateTemp and the rename in Put leaves a
+			// .tmp-* file behind; reclaim it (nothing references temp names).
+			if strings.HasPrefix(name, ".tmp-") {
+				os.Remove(filepath.Join(s.dir, shard.Name(), name))
+				continue
+			}
+			if !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			hexFP := strings.TrimSuffix(name, ".json")
+			if len(hexFP) != 64 || !strings.HasPrefix(hexFP, shard.Name()) {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, onDisk{hexFP: hexFP, mtime: info.ModTime()})
+		}
+	}
+	// Oldest first, so pushing each to the LRU front leaves the most recent
+	// record at the front. Ties break on the fingerprint for determinism.
+	sort.Slice(found, func(i, j int) bool {
+		a, b := found[i], found[j]
+		if !a.mtime.Equal(b.mtime) {
+			return a.mtime.Before(b.mtime)
+		}
+		return a.hexFP < b.hexFP
+	})
+	for _, f := range found {
+		s.index[f.hexFP] = s.lru.PushFront(f.hexFP)
+	}
+	return nil
+}
+
+func (s *Store) path(hexFP string) string {
+	return filepath.Join(s.dir, hexFP[:2], hexFP+".json")
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// StoreStats returns a snapshot of the observability counters.
+func (s *Store) StoreStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.lru.Len()
+	return st
+}
+
+// Get looks up the record for fp. ok=false means a (counted) miss; a
+// corrupt or version-skewed record on disk is removed and reported as a
+// miss, never as an error. A hit refreshes the record's LRU position and
+// mtime.
+func (s *Store) Get(fp [32]byte) (Record, bool) {
+	hexFP := Hex(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	elem, ok := s.index[hexFP]
+	if !ok {
+		s.stats.Misses++
+		return Record{}, false
+	}
+	data, err := os.ReadFile(s.path(hexFP))
+	if err != nil {
+		// Index said yes but the file is gone (pruned externally): self-heal.
+		s.dropLocked(hexFP, elem, false)
+		s.stats.Misses++
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil ||
+		rec.Version != RecordVersion || rec.Fingerprint != hexFP {
+		s.dropLocked(hexFP, elem, true)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return Record{}, false
+	}
+	s.lru.MoveToFront(elem)
+	now := time.Now()
+	os.Chtimes(s.path(hexFP), now, now) // persist recency; best-effort
+	s.stats.Hits++
+	return rec, true
+}
+
+// Put stores stats under fp, evicting least-recently-used records if the
+// store is over its bound. Putting an already-present fingerprint refreshes
+// the record in place.
+func (s *Store) Put(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunStats) error {
+	hexFP := Hex(fp)
+	rec := Record{
+		Version:     RecordVersion,
+		Fingerprint: hexFP,
+		Key:         key,
+		Spec:        spec.Canonical(),
+		Stats:       stats,
+		SavedAtUnix: time.Now().Unix(),
+	}
+	data, err := json.MarshalIndent(rec, "", "\t")
+	if err != nil {
+		return fmt.Errorf("simstore: put: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	path := s.path(hexFP)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("simstore: put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("simstore: put: %w", err)
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simstore: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("simstore: put: %w", err)
+	}
+
+	if elem, ok := s.index[hexFP]; ok {
+		s.lru.MoveToFront(elem)
+	} else {
+		s.index[hexFP] = s.lru.PushFront(hexFP)
+	}
+	s.stats.Puts++
+	for s.max > 0 && s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.dropLocked(oldest.Value.(string), oldest, true)
+		s.stats.Evictions++
+	}
+	return nil
+}
+
+// dropLocked removes a record from the index and, if removeFile is set, from
+// disk. Callers hold s.mu.
+func (s *Store) dropLocked(hexFP string, elem *list.Element, removeFile bool) {
+	s.lru.Remove(elem)
+	delete(s.index, hexFP)
+	if removeFile {
+		os.Remove(s.path(hexFP))
+	}
+}

@@ -1,0 +1,207 @@
+package simstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// sampleStats exercises the awkward corners of gpu.RunStats serialization:
+// float precision, integer-keyed maps, slices and nil-able pointers.
+func sampleStats(seed uint64) gpu.RunStats {
+	return gpu.RunStats{
+		Cycles:              20_000 + seed,
+		Instructions:        123_456_789 + seed,
+		IPC:                 0.1 + float64(seed)/3.0,
+		AppInstructions:     []uint64{seed, seed * 2},
+		AppIPC:              []float64{1.5, 2.25},
+		LLCPerSliceAccesses: []uint64{1, 2, 3},
+		LLCMissRate:         1.0 / 3.0,
+		SharingHistogram:    [4]float64{0.25, 0.25, 0.125, 0.375},
+		FinalMode:           config.LLCPrivate,
+		ModeCycles: map[config.LLCMode]uint64{
+			config.LLCShared:  seed,
+			config.LLCPrivate: seed * 7,
+		},
+		KernelBoundaries: []uint64{5_000, 10_000},
+	}
+}
+
+func specFor(t *testing.T, abbr string, seed int64) sweep.RunSpec {
+	t.Helper()
+	w, ok := workload.ByAbbr(abbr)
+	if !ok {
+		t.Fatalf("no workload %s", abbr)
+	}
+	return sweep.RunSpec{
+		Workloads:     []workload.Spec{w},
+		Config:        config.Baseline(),
+		Seed:          seed,
+		MeasureCycles: 10_000,
+	}
+}
+
+func mustFP(t *testing.T, s sweep.RunSpec) [32]byte {
+	t.Helper()
+	fp, err := Fingerprint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := specFor(t, "VA", 1)
+	fp := mustFP(t, spec)
+	if _, ok := st.Get(fp); ok {
+		t.Fatal("empty store returned a record")
+	}
+	stats := sampleStats(3)
+	if err := st.Put(fp, "va-run", spec, stats); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, ok := st.Get(fp)
+	if !ok {
+		t.Fatal("stored record not found")
+	}
+	if !reflect.DeepEqual(rec.Stats, stats) {
+		t.Errorf("stats did not round-trip:\nput %+v\ngot %+v", stats, rec.Stats)
+	}
+	// The JSON forms must be byte-identical too — this is what lets simd
+	// serve a cached response indistinguishable from the original one.
+	a, _ := json.Marshal(stats)
+	b, _ := json.Marshal(rec.Stats)
+	if string(a) != string(b) {
+		t.Errorf("stats JSON not byte-identical after round-trip:\n%s\n%s", a, b)
+	}
+
+	// A second Open over the same directory must see the record (persistence).
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 1 {
+		t.Fatalf("reopened store has %d entries, want 1", st2.Len())
+	}
+	if _, ok := st2.Get(fp); !ok {
+		t.Error("record lost across reopen")
+	}
+
+	s := st.StoreStats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("counters = %+v, want 1 hit / 1 miss / 1 put", s)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fpA := mustFP(t, specFor(t, "VA", 1))
+	fpB := mustFP(t, specFor(t, "VA", 2))
+	fpC := mustFP(t, specFor(t, "VA", 3))
+	for i, fp := range [][32]byte{fpA, fpB} {
+		if err := st.Put(fp, "", specFor(t, "VA", int64(i+1)), sampleStats(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A so B becomes the least recently used, then insert C.
+	if _, ok := st.Get(fpA); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	if err := st.Put(fpC, "", specFor(t, "VA", 3), sampleStats(9)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := st.Get(fpB); ok {
+		t.Error("LRU record B survived eviction")
+	}
+	if _, ok := st.Get(fpA); !ok {
+		t.Error("recently-used record A was evicted")
+	}
+	if _, ok := st.Get(fpC); !ok {
+		t.Error("new record C missing")
+	}
+	if st.Len() != 2 {
+		t.Errorf("store holds %d entries, want 2", st.Len())
+	}
+	if got := st.StoreStats().Evictions; got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// The bound holds on disk too, not just in the index.
+	files, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("%d record files on disk, want 2: %v", len(files), files)
+	}
+}
+
+func TestStoreCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specFor(t, "VA", 1)
+	fp := mustFP(t, spec)
+	if err := st.Put(fp, "", spec, sampleStats(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the record behind the store's back.
+	path := filepath.Join(dir, Hex(fp)[:2], Hex(fp)+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := st.Get(fp); ok {
+		t.Fatal("corrupt record served as a hit")
+	}
+	if got := st.StoreStats().Corrupt; got != 1 {
+		t.Errorf("corrupt counter = %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt record file not removed")
+	}
+	// The store recovers: the same fingerprint can be stored again.
+	if err := st.Put(fp, "", spec, sampleStats(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(fp); !ok {
+		t.Error("store did not recover after corruption")
+	}
+
+	// A version-skewed record is likewise a miss, not a misread.
+	var rec Record
+	data, _ := os.ReadFile(path)
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Version = RecordVersion + 1
+	skewed, _ := json.Marshal(rec)
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(fp); ok {
+		t.Error("version-skewed record served as a hit")
+	}
+}

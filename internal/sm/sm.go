@@ -265,12 +265,18 @@ func (s *SM) issueStore(w int, op workload.Op) {
 func (s *SM) issueLoad(w int, op workload.Op) {
 	lineAddr := s.l1.LineAddr(op.Addr)
 
+	// One MSHR lookup answers the merge question, the acceptance question
+	// and — if the access misses — performs the allocation (Probe/Commit;
+	// formerly Outstanding, CanAccept and Allocate each scanned the table).
+	probe := s.mshrs.Probe(lineAddr)
+
 	// Merge into an outstanding miss if one exists for this line.
-	if s.mshrs.Outstanding(lineAddr) {
-		if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
+	if probe.Outstanding() {
+		if !probe.CanAccept() {
 			s.stall(w, op)
 			return
 		}
+		s.mshrs.Commit(probe, s.reqCounter)
 		s.blockOnLine(w, lineAddr)
 		s.retire(w)
 		s.stats.MemInstructions++
@@ -282,7 +288,7 @@ func (s *SM) issueLoad(w int, op workload.Op) {
 	// A fresh miss needs both an MSHR and request-queue space; check before
 	// touching the tags so a structural stall leaves no side effects.
 	wouldMiss := !s.l1.Probe(op.Addr)
-	if wouldMiss && (!s.mshrs.CanAccept(lineAddr) || s.outQ.Len() >= s.outQCap) {
+	if wouldMiss && (!probe.CanAccept() || s.outQ.Len() >= s.outQCap) {
 		s.stall(w, op)
 		return
 	}
@@ -297,9 +303,7 @@ func (s *SM) issueLoad(w int, op workload.Op) {
 		return
 	}
 	s.stats.L1Misses++
-	if _, ok := s.mshrs.Allocate(lineAddr, s.reqCounter); !ok {
-		panic(fmt.Sprintf("sm %d: MSHR allocation failed after capacity check", s.id))
-	}
+	s.mshrs.Commit(probe, s.reqCounter)
 	s.outQ.PushBack(s.newRequest(lineAddr, false, w))
 	s.blockOnLine(w, lineAddr)
 }

@@ -84,6 +84,34 @@ type RunSpec struct {
 	RecordPath string
 }
 
+// Canonical returns the spec reduced to the fields that determine its
+// simulation outcome, with derived defaults resolved. Two specs with equal
+// Canonical() values produce identical RunStats, regardless of how they were
+// written down:
+//
+//   - Key is cleared: it names the run within a batch and never reaches the
+//     simulator.
+//   - RecordPath is cleared: capturing a trace is a side effect that leaves
+//     the measured statistics untouched (see Execute).
+//   - Config is normalized, so a zero derived field and its explicitly
+//     spelled-out default compare equal.
+//   - A zero Kernels is resolved to the workload-derived default, so "let it
+//     default" and "set it to the default" compare equal. (Trace replays keep
+//     Kernels as written: their default lives in the trace header, which
+//     Canonical does not open.)
+//
+// Canonical is the identity under which internal/simstore fingerprints runs
+// and the simd job queue deduplicates them.
+func (s RunSpec) Canonical() RunSpec {
+	s.Key = ""
+	s.RecordPath = ""
+	s.Config = s.Config.Normalize()
+	if s.Kernels == 0 && len(s.Workloads) > 0 {
+		s.Kernels = s.kernels()
+	}
+	return s
+}
+
 // kernels resolves the kernel count, defaulting to the maximum over the
 // workloads as the multi-program harness did.
 func (s RunSpec) kernels() int {
@@ -234,6 +262,17 @@ type Progress struct {
 	Key         string
 }
 
+// Executor abstracts "run this batch of declared specs": the local
+// worker-pool Runner implements it, and so does a remote execution backend
+// (a simd daemon routing each spec through its result store and job queue).
+// Harnesses written against Executor — notably the figure harnesses in
+// internal/exp — run unchanged on either engine. Implementations must honor
+// the Runner contract: results are positional, partial results are returned
+// on failure, and equal spec batches produce identical results.
+type Executor interface {
+	Run(ctx context.Context, specs []RunSpec) ([]Result, error)
+}
+
 // Runner executes a batch of runs across a worker pool.
 type Runner struct {
 	// Workers is the pool size: 0 (or negative) uses GOMAXPROCS, 1 forces
@@ -242,6 +281,8 @@ type Runner struct {
 	// OnProgress, when non-nil, is invoked after every completed run.
 	OnProgress func(Progress)
 }
+
+var _ Executor = (*Runner)(nil)
 
 // Run executes every spec and returns one Result per spec, positionally.
 // The returned error is nil only if every run was dispatched and succeeded;

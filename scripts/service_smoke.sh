@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of the simd simulation service:
+# start the daemon on a random port, POST the same small spec twice, and
+# assert that the second response is served from the store with
+# byte-identical statistics (the determinism/caching contract; see
+# DESIGN.md "Determinism-based result caching"). A quick figure is fetched
+# twice as well, asserting the repeat is fully cache-served.
+#
+# Usage: scripts/service_smoke.sh [store-dir]
+#
+#   store-dir           where the daemon keeps its result store
+#                       (default: ./smoke-store; CI uploads it as an artifact)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+command -v jq >/dev/null || { echo "service_smoke.sh: jq is required" >&2; exit 1; }
+
+store="${1:-smoke-store}"
+spec='{"benchmarks":["VA"],"measure_cycles":20000,"warmup_cycles":8000}'
+
+go build -o smoke-simd ./cmd/simd
+
+./smoke-simd -addr 127.0.0.1:0 -store "$store" > smoke-simd.log 2>&1 &
+simd_pid=$!
+trap 'kill "$simd_pid" 2>/dev/null || true; rm -f smoke-simd' EXIT
+
+# The startup line prints the resolved URL (the port is random).
+url=""
+for _ in $(seq 1 50); do
+  url="$(grep -oE 'http://[0-9.:]+' smoke-simd.log 2>/dev/null | head -n1 || true)"
+  [ -n "$url" ] && break
+  kill -0 "$simd_pid" 2>/dev/null || { echo "simd died:"; cat smoke-simd.log; exit 1; }
+  sleep 0.2
+done
+[ -n "$url" ] && echo "simd up at $url" || { echo "simd never listened"; cat smoke-simd.log; exit 1; }
+
+curl -sf "$url/healthz" | jq -e '.status == "ok"' >/dev/null
+
+echo "POST run (miss, simulates)"
+curl -sf -X POST "$url/v1/runs?wait=1" -d "$spec" > first.json
+jq -e '.results[0].cached == false and .results[0].status == "done"' first.json >/dev/null \
+  || { echo "first response wrong:"; cat first.json; exit 1; }
+
+echo "POST identical run (must be a store hit)"
+curl -sf -X POST "$url/v1/runs?wait=1" -d "$spec" > second.json
+jq -e '.results[0].cached == true and .results[0].status == "done"' second.json >/dev/null \
+  || { echo "second response not served from cache:"; cat second.json; exit 1; }
+
+echo "compare statistics byte-for-byte"
+jq -cS '.results[0].stats' first.json  > first.stats
+jq -cS '.results[0].stats' second.json > second.stats
+cmp first.stats second.stats \
+  || { echo "cached stats differ from computed stats"; exit 1; }
+
+echo "fetch a small figure twice; the repeat must be fully cache-served"
+figq='quick=1&cycles=3000&warmup=500'
+curl -sf "$url/v1/figures/3?$figq" > fig1.json
+curl -sf "$url/v1/figures/3?$figq" > fig2.json
+cmp <(jq -r .text fig1.json) <(jq -r .text fig2.json) \
+  || { echo "repeat figure text differs"; exit 1; }
+jq -e '.executed_runs > 0 and .cached_runs == 0' fig1.json >/dev/null \
+  || { echo "first figure should simulate:"; jq 'del(.text)' fig1.json; exit 1; }
+jq -e '.executed_runs == 0 and .cached_runs > 0' fig2.json >/dev/null \
+  || { echo "repeat figure not cache-served:"; jq 'del(.text)' fig2.json; exit 1; }
+
+curl -sf "$url/metrics" | grep -E 'simd_store_(hits|puts)_total'
+
+echo "service smoke: OK (store in $store)"
