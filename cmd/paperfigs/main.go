@@ -55,7 +55,7 @@ func run() int {
 		progressFlag = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
-		serverFlag   = flag.String("server", "", "farm figure generation out to a simd daemon at this base URL (e.g. http://127.0.0.1:8404); -parallel/-workers then apply server-side")
+		serverFlag   = flag.String("server", "", "farm figure generation out to simd daemon(s) at this comma-separated base URL list (e.g. http://127.0.0.1:8404,http://127.0.0.1:8405); requests route to each run's cluster owner and fail over past dead peers; -parallel/-workers then apply server-side")
 	)
 	flag.Parse()
 
@@ -127,10 +127,7 @@ func run() int {
 
 	if showProgress {
 		opt.Progress = func(p sweep.Progress) {
-			fmt.Fprintf(os.Stderr, "\r  [%3d/%3d] %-40s", p.Done, p.Total, p.Key)
-			if p.Done == p.Total {
-				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
-			}
+			progressLine(p.Done, p.Total, p.Key)
 		}
 	}
 
@@ -169,15 +166,20 @@ func run() int {
 		seen[key] = true
 	}
 
-	// In -server mode every figure is generated by the daemon; verify it is
-	// reachable before starting.
-	var remote *client.Client
+	// In -server mode every figure is generated by the daemon(s); verify at
+	// least one is reachable before starting.
+	var remote *client.Pool
 	if *serverFlag != "" {
-		remote = client.New(*serverFlag)
-		if _, err := remote.Health(context.Background()); err != nil {
+		pool, err := client.NewPool(strings.Split(*serverFlag, ","))
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: -server: %v\n", err)
 			return 1
 		}
+		if err := pool.Check(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -server: %v\n", err)
+			return 1
+		}
+		remote = pool
 	}
 
 	failed := 0
@@ -191,20 +193,21 @@ func run() int {
 			remark string
 		)
 		if remote != nil {
-			var resp *api.FigureResponse
 			// Seed is sent unconditionally (the local path applies the flag
 			// unconditionally too, and 0 is a legal seed).
-			resp, err = remote.Figure(context.Background(), key, api.FigureOptions{
+			opts := api.FigureOptions{
 				Quick:  *quickFlag,
 				Cycles: *cyclesFlag,
 				Warmup: *warmupFlag,
 				Seed:   seedFlag,
-			})
-			if err == nil {
-				out = resp.Text
-				remark = fmt.Sprintf(" via %s (%d cached, %d simulated runs)",
-					*serverFlag, resp.CachedRuns, resp.ExecutedRuns)
 			}
+			var progress func(*api.Progress)
+			if showProgress {
+				progress = func(p *api.Progress) {
+					progressLine(p.Done, p.Total, p.Key)
+				}
+			}
+			out, remark, err = remoteFigure(context.Background(), remote, key, opts, progress)
 		} else {
 			out, err = j.Run(opt)
 		}
@@ -234,4 +237,29 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// progressLine is the one in-place stderr progress format, shared by local
+// sweeps and the remote SSE stream so the two modes stay visually identical.
+func progressLine(done, total int, key string) {
+	fmt.Fprintf(os.Stderr, "\r  [%3d/%3d] %-40s", done, total, key)
+	if done == total {
+		fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
+	}
+}
+
+// remoteFigure generates one figure on the cluster with live progress
+// (client.Pool owns the routing, SSE streaming, polling fallback and peer
+// failover) and formats the outcome the way the local path does.
+func remoteFigure(ctx context.Context, pool *client.Pool, key string, opts api.FigureOptions, progress func(*api.Progress)) (text, remark string, err error) {
+	st, peer, err := pool.FigureStream(ctx, key, opts, progress)
+	if err != nil {
+		return "", "", err
+	}
+	if st.Status != api.StatusDone {
+		return "", "", fmt.Errorf("figure job ended %s: %s", st.Status, st.Error)
+	}
+	remark = fmt.Sprintf(" via %s (%d cached, %d simulated runs)",
+		peer, st.CachedRuns, st.ExecutedRuns)
+	return st.FigureText, remark, nil
 }

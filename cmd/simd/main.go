@@ -8,17 +8,28 @@
 //	simd -addr :9000 -workers 8  # all interfaces, pinned simulation pool
 //	simd -addr 127.0.0.1:0       # random port (printed on startup)
 //
+// Several daemons form a cluster by sharing one -peers list (every member's
+// full set of base URLs, each daemon included). Runs are sharded across
+// members by rendezvous hashing of their fingerprint: any daemon accepts
+// any request and transparently forwards each run to its owner, so
+// identical specs always dedupe onto one node and each member's store holds
+// only the runs it owns.
+//
+//	simd -addr 127.0.0.1:8404 -store store-a -peers http://127.0.0.1:8404,http://127.0.0.1:8405
+//	simd -addr 127.0.0.1:8405 -store store-b -peers http://127.0.0.1:8404,http://127.0.0.1:8405
+//
 // Try it:
 //
 //	curl -s localhost:8404/healthz
 //	curl -s -X POST localhost:8404/v1/runs?wait=1 \
 //	     -d '{"benchmarks":["VA"],"measure_cycles":20000}'
 //	curl -s localhost:8404/v1/figures/2?quick=1
+//	curl -s localhost:8404/v1/cluster
 //	curl -s localhost:8404/metrics
 //
 // The second identical POST returns "cached": true with byte-identical
 // statistics, without simulating. cmd/paperfigs -server farms whole figures
-// to a running daemon.
+// to a running daemon (or a comma-separated list of them).
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/simstore"
 )
@@ -44,6 +56,10 @@ func run() int {
 		storeFlag   = flag.String("store", "simstore", "result store directory (created if missing)")
 		workersFlag = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		maxFlag     = flag.Int("max-entries", 0, "LRU bound on stored results (0 = unbounded)")
+		jobTTLFlag  = flag.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable in memory (0 = forever; results persist in the store regardless)")
+		maxJobsFlag = flag.Int("max-jobs", server.DefaultMaxJobs, "max finished jobs retained in memory (0 = unbounded)")
+		peersFlag   = flag.String("peers", "", "comma-separated base URLs of every cluster member, this daemon included (enables fingerprint-sharded routing)")
+		selfFlag    = flag.String("self", "", "this daemon's advertised base URL within -peers (default: http://<resolved listen address>)")
 	)
 	flag.Parse()
 
@@ -52,18 +68,42 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
 	}
-	srv := server.New(server.Config{Store: store, Workers: *workersFlag})
-	defer srv.Close()
 
+	// Listen before assembling the server: with -addr :0 the advertised
+	// cluster self address is only known once the port is resolved.
 	ln, err := net.Listen("tcp", *addrFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
 	}
+	self := *selfFlag
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
+	peers := cluster.ParsePeers(*peersFlag)
+
+	srv, err := server.New(server.Config{
+		Store:   store,
+		Workers: *workersFlag,
+		JobTTL:  *jobTTLFlag,
+		MaxJobs: *maxJobsFlag,
+		Self:    self,
+		Peers:   peers,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		return 1
+	}
+	defer srv.Close()
+
 	// The startup line is machine-readable: scripts extract the URL to
 	// support -addr :0 (the CI smoke job does).
-	fmt.Printf("simd: listening on http://%s (store %s, %d entries, %d workers)\n",
-		ln.Addr(), store.Dir(), store.Len(), srv.Workers())
+	clusterNote := ""
+	if len(peers) > 0 {
+		clusterNote = fmt.Sprintf(", cluster of %d as %s", len(peers), srv.Self())
+	}
+	fmt.Printf("simd: listening on http://%s (store %s, %d entries, %d workers%s)\n",
+		ln.Addr(), store.Dir(), store.Len(), srv.Workers(), clusterNote)
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -1,0 +1,150 @@
+// Package cluster implements the membership and placement rules of a
+// multi-daemon simd deployment. Placement is rendezvous (highest-random-
+// weight) hashing over the run fingerprint: every member computes, for each
+// peer, a weight derived from hash(peer, fingerprint) and the peer with the
+// highest weight owns the run. All members given the same peer list agree on
+// every owner without any coordination, and removing a peer moves only the
+// runs that peer owned — every other placement is unchanged (the property
+// that makes failover cheap).
+//
+// The package is deliberately dependency-free (stdlib only): the server
+// (internal/server) uses it to decide whether to execute or forward a
+// submission, and the client pool (internal/server/client) uses the same
+// ranking to route requests to owners directly.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Normalize canonicalizes a peer base URL so that the same daemon spelled
+// slightly differently ("127.0.0.1:8404/", "http://127.0.0.1:8404") hashes
+// identically everywhere. Placement compares normalized strings exactly, so
+// every member must be given the same spelling of every peer (the host is
+// not resolved: "localhost" and "127.0.0.1" are distinct members).
+func Normalize(peer string) string {
+	p := strings.TrimSpace(peer)
+	p = strings.TrimRight(p, "/")
+	if p == "" {
+		return ""
+	}
+	if !strings.Contains(p, "://") {
+		p = "http://" + p
+	}
+	return p
+}
+
+// ParsePeers splits a comma-separated peer list (the -peers flag syntax)
+// into normalized, deduplicated base URLs, preserving first-seen order.
+func ParsePeers(list string) []string {
+	var peers []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(list, ",") {
+		p := Normalize(part)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	return peers
+}
+
+// weight is the rendezvous score of peer for fp: the first 8 bytes of
+// sha256(peer || 0x00 || fp). The zero byte delimits the variable-length
+// peer name from the fixed-length fingerprint, so no two (peer, fp) pairs
+// collide by concatenation.
+func weight(fp [32]byte, peer string) uint64 {
+	h := sha256.New()
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write(fp[:])
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// Ranked orders peers by descending rendezvous weight for fp: Ranked(...)[0]
+// is the owner, and the remainder is the failover order. Ties (which require
+// a 64-bit hash collision) break on the peer name so every member still
+// agrees. The input slice is not modified; peers are hashed as given, so
+// normalize them first.
+func Ranked(fp [32]byte, peers []string) []string {
+	ranked := append([]string(nil), peers...)
+	weights := make(map[string]uint64, len(peers))
+	for _, p := range ranked {
+		weights[p] = weight(fp, p)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		wi, wj := weights[ranked[i]], weights[ranked[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+// RankedKey ranks peers for an arbitrary string key (used for requests that
+// have no run fingerprint, like whole-figure generation) by hashing the key
+// first.
+func RankedKey(key string, peers []string) []string {
+	return Ranked(sha256.Sum256([]byte(key)), peers)
+}
+
+// Membership is one daemon's view of the cluster: the full (normalized,
+// sorted, deduplicated) member list and which member this daemon is.
+type Membership struct {
+	self  string
+	peers []string
+}
+
+// New validates a membership: self must appear in peers (every daemon must
+// be told the same complete member list, itself included — a daemon that is
+// not in its own list would disagree with every other member about
+// placement). Peers are normalized and deduplicated; order does not matter.
+func New(self string, peers []string) (*Membership, error) {
+	self = Normalize(self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: empty self address")
+	}
+	seen := map[string]bool{}
+	var norm []string
+	for _, p := range peers {
+		n := Normalize(p)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		norm = append(norm, n)
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list %v (every member must appear in its own -peers; use -self if the advertised address differs from the listen address)", self, norm)
+	}
+	sort.Strings(norm)
+	return &Membership{self: self, peers: norm}, nil
+}
+
+// Self returns this daemon's normalized address.
+func (m *Membership) Self() string { return m.self }
+
+// Peers returns the full member list (normalized, sorted; includes self).
+// The caller must not modify the returned slice.
+func (m *Membership) Peers() []string { return m.peers }
+
+// Len returns the member count.
+func (m *Membership) Len() int { return len(m.peers) }
+
+// Owner returns the member that owns fp.
+func (m *Membership) Owner(fp [32]byte) string { return Ranked(fp, m.peers)[0] }
+
+// IsOwner reports whether this daemon owns fp.
+func (m *Membership) IsOwner(fp [32]byte) bool { return m.Owner(fp) == m.self }
+
+// Ranked returns the full failover order for fp (owner first).
+func (m *Membership) Ranked(fp [32]byte) []string { return Ranked(fp, m.peers) }

@@ -119,11 +119,41 @@ func (s Spec) ToRunSpec() (sweep.RunSpec, error) {
 	return rs, nil
 }
 
+// FromRunSpec is the inverse of ToRunSpec: it spells an engine RunSpec out
+// as a fully-explicit wire Spec (Config inline, no benchmark abbreviations),
+// such that FromRunSpec(rs).ToRunSpec() fingerprints identically to rs. The
+// cluster layer uses it to forward runs that originated inside the server
+// (figure orchestrations) to their owner daemon.
+func FromRunSpec(rs sweep.RunSpec) Spec {
+	cfg := rs.Config
+	s := Spec{
+		Key:           rs.Key,
+		Workloads:     rs.Workloads,
+		Config:        &cfg,
+		Seed:          rs.Seed,
+		MeasureCycles: rs.MeasureCycles,
+		WarmupCycles:  rs.WarmupCycles,
+		Kernels:       rs.Kernels,
+		TracePath:     rs.TracePath,
+		TraceLoop:     rs.TraceLoop,
+	}
+	for _, m := range rs.AppModes {
+		s.AppModes = append(s.AppModes, m.String())
+	}
+	return s
+}
+
 // RunRequest is the body of POST /v1/runs: a batch of runs. A bare Spec
 // object (no "specs" wrapper) is also accepted for single-run requests.
 type RunRequest struct {
 	Specs []Spec `json:"specs"`
 }
+
+// ForwardedHeader marks a POST /v1/runs that was forwarded by another
+// cluster member. A daemon receiving it executes the runs itself instead of
+// routing them again, which bounds every submission to at most one hop even
+// when members briefly disagree about the peer list.
+const ForwardedHeader = "X-Simd-Forwarded"
 
 // Job states reported by the API.
 const (
@@ -133,6 +163,13 @@ const (
 	StatusFailed    = "failed"
 	StatusCancelled = "cancelled"
 )
+
+// IsTerminal reports whether a job status is final. It is the one shared
+// predicate — the server's queue, the client pool and pollers must agree,
+// or a late-added status would leave one of them waiting forever.
+func IsTerminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
+}
 
 // RunResult is the per-spec outcome in a RunResponse. A store hit carries
 // Status "done", Cached true and the statistics inline; a miss carries the
@@ -145,6 +182,10 @@ type RunResult struct {
 	JobID       string        `json:"job_id,omitempty"`
 	Stats       *gpu.RunStats `json:"stats,omitempty"`
 	Error       string        `json:"error,omitempty"`
+	// Peer is the cluster member that answered this spec (the rendezvous
+	// owner, or the member that failed over for it). JobID, when present,
+	// names a job on that member. Empty on single-node daemons.
+	Peer string `json:"peer,omitempty"`
 }
 
 // RunResponse is the body answering POST /v1/runs.
@@ -179,6 +220,10 @@ type JobStatus struct {
 	// simulations.
 	CachedRuns   int `json:"cached_runs,omitempty"`
 	ExecutedRuns int `json:"executed_runs,omitempty"`
+	// Peer is the cluster member the job lives on (set when answering
+	// through a cluster daemon; empty single-node). Poll, stream or cancel
+	// against any member — lookups for forwarded jobs are proxied.
+	Peer string `json:"peer,omitempty"`
 }
 
 // Event is one SSE message on GET /v1/jobs/{id}/events. Type "status"
@@ -264,6 +309,32 @@ type Health struct {
 	StoreDir      string  `json:"store_dir"`
 	StoreEntries  int     `json:"store_entries"`
 	Workers       int     `json:"workers"`
+	// Queued and Running snapshot the job queue; JobsTracked counts the
+	// jobs (any state) currently retained in memory — bounded by the
+	// daemon's retention policy, see DESIGN.md "Job retention".
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	JobsTracked int `json:"jobs_tracked"`
+	// Self is the daemon's advertised cluster address (empty single-node).
+	Self string `json:"self,omitempty"`
+}
+
+// ClusterPeer is one member's entry in a ClusterStatus: its address plus a
+// live health probe (Health is nil, and Error set, when the probe failed).
+type ClusterPeer struct {
+	URL     string  `json:"url"`
+	Self    bool    `json:"self,omitempty"`
+	Healthy bool    `json:"healthy"`
+	Error   string  `json:"error,omitempty"`
+	Health  *Health `json:"health,omitempty"`
+}
+
+// ClusterStatus is the body of GET /v1/cluster: the answering daemon's
+// membership view with per-peer store/queue stats. A single-node daemon
+// reports itself as the only member.
+type ClusterStatus struct {
+	Self  string        `json:"self,omitempty"`
+	Peers []ClusterPeer `json:"peers"`
 }
 
 // Error is the body of every non-2xx response.

@@ -4,9 +4,11 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,6 +18,29 @@ import (
 
 	"repro/internal/server/api"
 )
+
+// StatusError is a non-2xx answer from a reachable daemon. Failover logic
+// distinguishes it from transport errors: a daemon that answered (even with
+// an error) is alive, and retrying the same request on another member would
+// produce the same answer.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("%s (HTTP %d)", e.Msg, e.Code)
+	}
+	return fmt.Sprintf("HTTP %d", e.Code)
+}
+
+// IsStatusError reports whether err is (or wraps) a daemon-answered HTTP
+// error rather than a transport failure.
+func IsStatusError(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se)
+}
 
 // Client talks to one simd daemon.
 type Client struct {
@@ -40,8 +65,8 @@ func (c *Client) httpClient() *http.Client {
 }
 
 // do issues a request and decodes the JSON response into out; non-2xx
-// responses are returned as errors carrying the server's message.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// responses are returned as *StatusError carrying the server's message.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, hdr http.Header) error {
 	var rdr io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -57,6 +82,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -68,10 +98,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if resp.StatusCode/100 != 2 {
 		var apiErr api.Error
+		se := &StatusError{Code: resp.StatusCode}
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("client: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+			se.Msg = apiErr.Error
 		}
-		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return fmt.Errorf("client: %s %s: %w", method, path, se)
 	}
 	if out == nil {
 		return nil
@@ -85,7 +116,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 // Health checks the daemon's liveness.
 func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	var h api.Health
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, nil); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -100,7 +131,7 @@ func (c *Client) Runs(ctx context.Context, req api.RunRequest, wait bool) (*api.
 		path += "?wait=1"
 	}
 	var resp api.RunResponse
-	if err := c.do(ctx, http.MethodPost, path, req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, req, &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -109,7 +140,7 @@ func (c *Client) Runs(ctx context.Context, req api.RunRequest, wait bool) (*api.
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 	var st api.JobStatus
-	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &st, nil); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -118,7 +149,7 @@ func (c *Client) Job(ctx context.Context, id string) (*api.JobStatus, error) {
 // Cancel requests cancellation of a job and returns its resulting status.
 func (c *Client) Cancel(ctx context.Context, id string) (*api.JobStatus, error) {
 	var st api.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st, nil); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -148,6 +179,45 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (*a
 	}
 }
 
+// ForwardJob fetches a job's status marked as cluster-internal: the peer
+// answers from its own queue only (no cross-member lookup), bounding the
+// cluster's job-proxy fan-out to one hop. Used by the server, not by
+// ordinary clients (Job already benefits from the server-side proxy).
+func (c *Client) ForwardJob(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	hdr := http.Header{api.ForwardedHeader: []string{"1"}}
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil, &st, hdr); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ForwardCancel is ForwardJob's cancellation counterpart.
+func (c *Client) ForwardCancel(ctx context.Context, id string) (*api.JobStatus, error) {
+	var st api.JobStatus
+	hdr := http.Header{api.ForwardedHeader: []string{"1"}}
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &st, hdr); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ForwardRuns submits a batch marked as cluster-forwarded: the receiving
+// daemon executes the specs itself instead of routing them onward. Used by
+// the server's cluster layer, not by ordinary clients.
+func (c *Client) ForwardRuns(ctx context.Context, req api.RunRequest, wait bool) (*api.RunResponse, error) {
+	path := "/v1/runs"
+	if wait {
+		path += "?wait=1"
+	}
+	var resp api.RunResponse
+	hdr := http.Header{api.ForwardedHeader: []string{"1"}}
+	if err := c.do(ctx, http.MethodPost, path, req, &resp, hdr); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Figure regenerates one paper figure on the daemon and returns its
 // formatted text (byte-identical to local paperfigs output for the same
 // options) plus cache statistics.
@@ -157,8 +227,69 @@ func (c *Client) Figure(ctx context.Context, key string, opt api.FigureOptions) 
 		path += "?" + q
 	}
 	var resp api.FigureResponse
-	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// FigureAsync starts a figure job on the daemon and returns its job ID
+// without waiting. Pair with JobEvents (live progress) or WaitJob (polling).
+func (c *Client) FigureAsync(ctx context.Context, key string, opt api.FigureOptions) (string, error) {
+	q := opt.Query()
+	q.Set("async", "1")
+	path := "/v1/figures/" + url.PathEscape(key) + "?" + q.Encode()
+	var resp api.FigureResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp, nil); err != nil {
+		return "", err
+	}
+	if resp.JobID == "" {
+		return "", fmt.Errorf("client: async figure %s returned no job ID", key)
+	}
+	return resp.JobID, nil
+}
+
+// JobEvents consumes a job's SSE stream, invoking fn for every event until
+// fn returns false (a clean stop, returning nil) or the stream ends. A
+// stream that ends before fn stopped it — the server restarted, a proxy cut
+// the connection — returns an error so callers can fall back to polling.
+func (c *Client) JobEvents(ctx context.Context, id string, fn func(api.Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("client: job events %s: %w", id, err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: job events %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		se := &StatusError{Code: resp.StatusCode}
+		var apiErr api.Error
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			se.Msg = apiErr.Error
+		}
+		return fmt.Errorf("client: job events %s: %w", id, se)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20) // figure text rides in status events
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: job events %s: bad payload: %w", id, err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: job events %s: %w", id, err)
+	}
+	return fmt.Errorf("client: job events %s: stream ended before a terminal event", id)
 }

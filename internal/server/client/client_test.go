@@ -1,0 +1,165 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server/api"
+	"repro/internal/simstore"
+)
+
+// TestWaitJobCancelMidPoll: cancelling the context between polls must stop
+// the poll loop promptly with the context's error, not hang or return a
+// bogus status.
+func TestWaitJobCancelMidPoll(t *testing.T) {
+	var polls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) == 2 {
+			// Cancel while the client is mid-loop; the job never finishes.
+			cancel()
+		}
+		json.NewEncoder(w).Encode(api.JobStatus{ID: "j000001", Kind: "run", Status: api.StatusRunning})
+	}))
+	defer hs.Close()
+
+	done := make(chan struct{})
+	var st *api.JobStatus
+	var err error
+	go func() {
+		defer close(done)
+		st, err = New(hs.URL).WaitJob(ctx, "j000001", 5*time.Millisecond)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitJob did not return after its context was cancelled")
+	}
+	if st != nil {
+		t.Errorf("cancelled WaitJob returned a status: %+v", st)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled WaitJob error = %v, want context.Canceled", err)
+	}
+	if polls.Load() < 2 {
+		t.Errorf("server saw %d polls, want at least 2", polls.Load())
+	}
+}
+
+func TestStatusErrorClassification(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Error{Error: "no job"})
+	}))
+	defer hs.Close()
+	_, err := New(hs.URL).Job(context.Background(), "j1")
+	if !IsStatusError(err) {
+		t.Errorf("daemon-answered 404 not classified as StatusError: %v", err)
+	}
+	hs.Close()
+	_, err = New(hs.URL).Job(context.Background(), "j1")
+	if err == nil || IsStatusError(err) {
+		t.Errorf("transport failure classified as StatusError: %v", err)
+	}
+}
+
+// fakeDaemon is a minimal simd stand-in for pool routing tests: it answers
+// /healthz and records every spec POSTed to /v1/runs.
+func fakeDaemon(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var runs atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		var req api.RunRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := api.RunResponse{Results: make([]api.RunResult, len(req.Specs))}
+		for i, s := range req.Specs {
+			runs.Add(1)
+			resp.Results[i] = api.RunResult{Key: s.Key, Status: api.StatusDone}
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return hs, &runs
+}
+
+// TestPoolRoutesToOwnerAndFailsOver: every spec goes to its rendezvous
+// owner while all peers are healthy; with the owner dead, the request lands
+// on the next-ranked peer instead of failing.
+func TestPoolRoutesToOwnerAndFailsOver(t *testing.T) {
+	a, runsA := fakeDaemon(t)
+	b, runsB := fakeDaemon(t)
+	pool, err := NewPool([]string{a.URL, b.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := api.Spec{Key: "r", Benchmarks: []string{"VA"}, MeasureCycles: 3000, Seed: 1}
+	ranked := pool.rankedForSpec(spec)
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d peers, want 2", len(ranked))
+	}
+	resp, err := pool.Runs(context.Background(), api.RunRequest{Specs: []api.Spec{spec}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Results[0].Peer; got != ranked[0] {
+		t.Errorf("spec answered by %s, want owner %s", got, ranked[0])
+	}
+	ownerRuns, otherRuns := runsA, runsB
+	if ranked[0] == cluster.Normalize(b.URL) {
+		ownerRuns, otherRuns = runsB, runsA
+	}
+	if ownerRuns.Load() != 1 || otherRuns.Load() != 0 {
+		t.Errorf("owner ran %d specs, other %d; want 1/0", ownerRuns.Load(), otherRuns.Load())
+	}
+
+	// Kill the owner: the same spec must fail over to the survivor.
+	if ranked[0] == cluster.Normalize(a.URL) {
+		a.Close()
+	} else {
+		b.Close()
+	}
+	pool.HealthTTL = time.Nanosecond // forget the cached good probe
+	resp, err = pool.Runs(context.Background(), api.RunRequest{Specs: []api.Spec{spec}}, true)
+	if err != nil {
+		t.Fatalf("failover request failed: %v", err)
+	}
+	if got := resp.Results[0].Peer; got != ranked[1] {
+		t.Errorf("after owner death spec answered by %s, want runner-up %s", got, ranked[1])
+	}
+}
+
+// TestPoolRankingMatchesCluster: the pool and the daemons must agree on
+// ownership (both defer to internal/cluster over the normalized peer list).
+func TestPoolRankingMatchesCluster(t *testing.T) {
+	peers := []string{"http://127.0.0.1:1", "http://127.0.0.1:2", "http://127.0.0.1:3"}
+	pool, err := NewPool(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := api.Spec{Benchmarks: []string{"VA"}, MeasureCycles: 5000, Seed: 9}
+	rs, err := spec.ToRunSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := simstore.Fingerprint(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pool.rankedForSpec(spec), cluster.Ranked(fp, peers); !reflect.DeepEqual(got, want) {
+		t.Errorf("pool ranking %v != cluster ranking %v", got, want)
+	}
+}

@@ -1,0 +1,361 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server/api"
+	"repro/internal/simstore"
+)
+
+// Pool routes requests across a simd cluster from the client side, using the
+// same rendezvous ranking the daemons use (internal/cluster): each spec goes
+// straight to its owner, so even a client that talks to every member never
+// causes a run to execute twice. Peers found unreachable are skipped for
+// HealthTTL and requests fail over to the next-ranked member — any daemon
+// can answer any request (the cluster forwards internally), owner-first
+// routing is only the fast path.
+//
+// A Pool over a single peer behaves exactly like a bare Client.
+type Pool struct {
+	// HealthTTL is how long a health probe (good or bad) is trusted before
+	// re-probing; the zero value means 5 seconds.
+	HealthTTL time.Duration
+
+	peers   []string // normalized
+	clients map[string]*Client
+
+	mu     sync.Mutex
+	health map[string]healthEntry
+}
+
+type healthEntry struct {
+	ok      bool
+	checked time.Time
+}
+
+// NewPool builds a pool over the given peer base URLs (at least one).
+func NewPool(peers []string) (*Pool, error) {
+	var norm []string
+	clients := map[string]*Client{}
+	for _, p := range peers {
+		n := cluster.Normalize(p)
+		if n == "" {
+			continue
+		}
+		if _, dup := clients[n]; dup {
+			continue
+		}
+		clients[n] = New(n)
+		norm = append(norm, n)
+	}
+	if len(norm) == 0 {
+		return nil, fmt.Errorf("client: pool needs at least one peer")
+	}
+	return &Pool{peers: norm, clients: clients, health: map[string]healthEntry{}}, nil
+}
+
+// Peers returns the normalized peer list. Callers must not modify it.
+func (p *Pool) Peers() []string { return p.peers }
+
+// Client returns the client for one peer (nil for an unknown peer).
+func (p *Pool) Client(peer string) *Client { return p.clients[cluster.Normalize(peer)] }
+
+// MarkUnhealthy records a peer as down (e.g. after a transport error on a
+// non-probe request), so subsequent routing skips it for HealthTTL.
+func (p *Pool) MarkUnhealthy(peer string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.health[cluster.Normalize(peer)] = healthEntry{ok: false, checked: time.Now()}
+}
+
+func (p *Pool) healthTTL() time.Duration {
+	if p.HealthTTL > 0 {
+		return p.HealthTTL
+	}
+	return 5 * time.Second
+}
+
+// healthy reports whether peer currently answers /healthz, probing (with a
+// 2-second bound) at most once per HealthTTL.
+func (p *Pool) healthy(ctx context.Context, peer string) bool {
+	p.mu.Lock()
+	if e, ok := p.health[peer]; ok && time.Since(e.checked) < p.healthTTL() {
+		p.mu.Unlock()
+		return e.ok
+	}
+	p.mu.Unlock()
+
+	probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	_, err := p.clients[peer].Health(probeCtx)
+	ok := err == nil
+
+	p.mu.Lock()
+	p.health[peer] = healthEntry{ok: ok, checked: time.Now()}
+	p.mu.Unlock()
+	return ok
+}
+
+// Check verifies that at least one peer is reachable, returning the last
+// probe error otherwise.
+func (p *Pool) Check(ctx context.Context) error {
+	var lastErr error
+	for _, peer := range p.peers {
+		probeCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		_, err := p.clients[peer].Health(probeCtx)
+		cancel()
+		p.mu.Lock()
+		p.health[peer] = healthEntry{ok: err == nil, checked: time.Now()}
+		p.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: no reachable peer among %v: %w", p.peers, lastErr)
+}
+
+// healthyRanked filters a ranked peer list down to currently-healthy
+// members; if every member looks down, the full ranking is returned so the
+// caller's request still gets one real attempt per peer (probes can be
+// stale or the probe route broken while the API works).
+func (p *Pool) healthyRanked(ctx context.Context, ranked []string) []string {
+	var alive []string
+	for _, peer := range ranked {
+		if p.healthy(ctx, peer) {
+			alive = append(alive, peer)
+		}
+	}
+	if len(alive) == 0 {
+		return ranked
+	}
+	return alive
+}
+
+// rankedForSpec computes the owner-first failover order for one wire spec.
+// Specs whose fingerprint cannot be computed client-side (a trace_path that
+// lives on the daemons' filesystem) rank by their JSON encoding instead —
+// stable across requests, though not owner-aligned; the receiving daemon
+// re-routes them.
+func (p *Pool) rankedForSpec(spec api.Spec) []string {
+	if rs, err := spec.ToRunSpec(); err == nil {
+		if fp, err := simstore.Fingerprint(rs); err == nil {
+			return cluster.Ranked(fp, p.peers)
+		}
+	}
+	key := "spec"
+	if data, err := json.Marshal(spec); err == nil {
+		key = "spec/" + string(data)
+	}
+	return cluster.RankedKey(key, p.peers)
+}
+
+// RankedFigurePeers returns the healthy members in rendezvous order for a
+// figure key: a deterministic entry point per figure (so repeat requests
+// reuse the same daemon's warm HTTP connections) with failover order behind
+// it.
+func (p *Pool) RankedFigurePeers(ctx context.Context, key string) []string {
+	return p.healthyRanked(ctx, cluster.RankedKey("figure/"+key, p.peers))
+}
+
+// Runs submits a batch, routing every spec to its owner daemon and failing
+// over to the next-ranked healthy member on transport errors and 5xx
+// answers (peer-specific overload). Results come back in spec order; each
+// carries the answering peer. A 4xx *StatusError is returned as-is —
+// re-asking another member would not change a validation error.
+func (p *Pool) Runs(ctx context.Context, req api.RunRequest, wait bool) (*api.RunResponse, error) {
+	// Group spec indices by first-choice peer, remembering each spec's full
+	// failover ranking.
+	groups := map[string][]int{}
+	rankings := make([][]string, len(req.Specs))
+	for i, spec := range req.Specs {
+		ranked := p.healthyRanked(ctx, p.rankedForSpec(spec))
+		rankings[i] = ranked
+		groups[ranked[0]] = append(groups[ranked[0]], i)
+	}
+
+	// Owner groups are independent (disjoint result indices), so dispatch
+	// them concurrently: a wait=1 batch spanning several owners costs the
+	// slowest owner, not the sum of all of them.
+	results := make([]api.RunResult, len(req.Specs))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	gi := 0
+	for peer, idxs := range groups {
+		wg.Add(1)
+		go func(gi int, peer string, idxs []int) {
+			defer wg.Done()
+			errs[gi] = p.runGroup(ctx, peer, idxs, req, wait, rankings, results)
+		}(gi, peer, idxs)
+		gi++
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &api.RunResponse{Results: results}, nil
+}
+
+// runGroup sends one owner's specs, retrying the group on the next-ranked
+// peers after a transport failure.
+func (p *Pool) runGroup(ctx context.Context, peer string, idxs []int, req api.RunRequest, wait bool, rankings [][]string, results []api.RunResult) error {
+	sub := api.RunRequest{Specs: make([]api.Spec, len(idxs))}
+	for k, i := range idxs {
+		sub.Specs[k] = req.Specs[i]
+	}
+	// Failover order: the first spec's ranking (all specs in a group share
+	// the same owner; their subsequent rankings rarely diverge, and any
+	// member can serve any spec anyway).
+	tries := rankings[idxs[0]]
+	start := 0
+	for i, cand := range tries {
+		if cand == peer {
+			start = i
+			break
+		}
+	}
+	return p.tryPeers(ctx, fmt.Sprintf("%d spec(s)", len(idxs)), tries[start:], func(cand string) error {
+		resp, err := p.clients[cand].Runs(ctx, sub, wait)
+		if err != nil {
+			return err
+		}
+		if len(resp.Results) != len(idxs) {
+			return &StatusError{Code: 502, Msg: fmt.Sprintf("peer %s answered %d results for %d specs", cand, len(resp.Results), len(idxs))}
+		}
+		for k, i := range idxs {
+			results[i] = resp.Results[k]
+			if results[i].Peer == "" {
+				results[i].Peer = cand
+			}
+		}
+		return nil
+	})
+}
+
+// tryPeers is the one failover policy: walk peers in ranked order until
+// attempt succeeds; a non-retriable (4xx) answer or context cancellation
+// returns immediately, a retriable failure marks the peer unhealthy and
+// moves on. label names the work in the every-peer-failed error.
+func (p *Pool) tryPeers(ctx context.Context, label string, peers []string, attempt func(peer string) error) error {
+	var lastErr error
+	for _, peer := range peers {
+		err := attempt(peer)
+		if err == nil {
+			return nil
+		}
+		if !retriable(err) || ctx.Err() != nil {
+			return err
+		}
+		p.MarkUnhealthy(peer)
+		lastErr = err
+	}
+	return fmt.Errorf("client: %s: every peer failed: %w", label, lastErr)
+}
+
+// Figure regenerates a figure on the cluster: the rendezvous-preferred
+// member first, failing over on transport errors. Daemon-answered errors
+// (unknown figure, failed figure) return immediately.
+func (p *Pool) Figure(ctx context.Context, key string, opt api.FigureOptions) (*api.FigureResponse, error) {
+	var resp *api.FigureResponse
+	err := p.tryPeers(ctx, "figure "+key, p.RankedFigurePeers(ctx, key), func(peer string) error {
+		var perr error
+		resp, perr = p.clients[peer].Figure(ctx, key, opt)
+		return perr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// FigureStream generates a figure with live progress: the job runs
+// asynchronously on the rendezvous-preferred member and its SSE event
+// stream drives onProgress (may be nil); a dropped stream degrades to
+// polling the same job, and a dead peer fails over to the next-ranked one.
+// Returns the terminal job status and the peer that served it. Like
+// Figure, daemon-answered errors return immediately without failover.
+func (p *Pool) FigureStream(ctx context.Context, key string, opt api.FigureOptions, onProgress func(*api.Progress)) (*api.JobStatus, string, error) {
+	var st *api.JobStatus
+	var served string
+	err := p.tryPeers(ctx, "figure "+key, p.RankedFigurePeers(ctx, key), func(peer string) error {
+		var perr error
+		st, perr = figureStreamOn(ctx, p.clients[peer], key, opt, onProgress)
+		if perr == nil {
+			served = peer
+		}
+		return perr
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return st, served, nil
+}
+
+// figureStreamOn runs one async figure job on one daemon, consuming its SSE
+// stream for progress; if the stream drops mid-job it polls the job status
+// instead of failing (the job keeps running on the daemon either way).
+func figureStreamOn(ctx context.Context, c *Client, key string, opt api.FigureOptions, onProgress func(*api.Progress)) (*api.JobStatus, error) {
+	id, err := c.FigureAsync(ctx, key, opt)
+	if err != nil {
+		return nil, err
+	}
+	var final *api.JobStatus
+	streamErr := c.JobEvents(ctx, id, func(ev api.Event) bool {
+		switch ev.Type {
+		case "progress":
+			if onProgress != nil && ev.Progress != nil {
+				onProgress(ev.Progress)
+			}
+		case "status":
+			if ev.Job != nil && api.IsTerminal(ev.Job.Status) {
+				final = ev.Job
+				return false
+			}
+		}
+		return true
+	})
+	if final != nil {
+		return final, nil
+	}
+	st, pollErr := c.WaitJob(ctx, id, 500*time.Millisecond)
+	if pollErr != nil {
+		if streamErr != nil {
+			return nil, fmt.Errorf("%w (stream also failed: %v)", pollErr, streamErr)
+		}
+		return nil, pollErr
+	}
+	return st, nil
+}
+
+// retriable reports whether err might succeed on a different member:
+// transport failures and 5xx answers (overload, internal errors —
+// peer-specific conditions) are worth failing over; a 4xx is the daemon
+// rejecting the request itself, which every member would reject alike.
+func retriable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
+
+// Cluster fetches the cluster status from the first healthy member.
+func (p *Pool) Cluster(ctx context.Context) (*api.ClusterStatus, error) {
+	var st api.ClusterStatus
+	err := p.tryPeers(ctx, "cluster status", p.healthyRanked(ctx, p.peers), func(peer string) error {
+		return p.clients[peer].do(ctx, http.MethodGet, "/v1/cluster", nil, &st, nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

@@ -2,9 +2,12 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,25 +48,29 @@ type Job struct {
 	cancel context.CancelFunc
 	ctx    context.Context
 
+	// finished is set on entry to a terminal state; retention GC evicts
+	// terminal jobs by age.
+	finished time.Time
+
 	// done is closed on entry to any terminal state.
 	done chan struct{}
 	subs map[chan api.Event]struct{}
 }
 
-func terminal(state string) bool {
-	return state == api.StatusDone || state == api.StatusFailed || state == api.StatusCancelled
-}
+func terminal(state string) bool { return api.IsTerminal(state) }
 
 // QueueStats are the queue's observability counters (served by /metrics).
 type QueueStats struct {
 	Workers   int
 	Queued    int
 	Running   int
+	Tracked   int    // jobs currently retained in memory (any state)
 	Executed  uint64 // simulations actually run
 	Completed uint64
 	Failed    uint64
 	Cancelled uint64
 	DedupHits uint64 // submissions attached to an already-in-flight job
+	Evicted   uint64 // finished jobs dropped by the retention policy
 }
 
 // Queue owns the jobs: a bounded worker pool executes run jobs, the store
@@ -72,8 +79,12 @@ type QueueStats struct {
 type Queue struct {
 	store   *simstore.Store
 	workers int
+	ttl     time.Duration // evict terminal jobs older than this (0 = keep)
+	maxJobs int           // hard cap on retained jobs (0 = unbounded)
+	idBase  string        // per-queue random prefix making job IDs cluster-unique
 
 	mu       sync.Mutex
+	closed   bool
 	jobs     map[string]*Job
 	inflight map[string]*Job // fingerprint hex -> queued/running run job
 	seq      uint64
@@ -85,14 +96,26 @@ type Queue struct {
 }
 
 // NewQueue starts a queue with the given simulation worker count (0 uses
-// GOMAXPROCS).
-func NewQueue(store *simstore.Store, workers int) *Queue {
+// GOMAXPROCS) and finished-job retention policy: terminal jobs with no
+// subscribers are evicted once older than ttl, and whenever the job map
+// exceeds maxJobs (oldest-finished first). Zero disables the respective
+// bound; in-flight and subscribed jobs are never evicted.
+func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int) *Queue {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Job IDs must be unique across a cluster, not just within one daemon:
+	// forwarded submissions hand their owner's IDs to clients, who may poll
+	// any member — a bare per-daemon counter would collide with that
+	// member's own jobs and answer (or cancel) the wrong one.
+	token := make([]byte, 4)
+	rand.Read(token)
 	q := &Queue{
 		store:    store,
 		workers:  workers,
+		ttl:      ttl,
+		maxJobs:  maxJobs,
+		idBase:   "j" + hex.EncodeToString(token),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		pending:  make(chan *Job, 4096),
@@ -102,20 +125,120 @@ func NewQueue(store *simstore.Store, workers int) *Queue {
 		q.wg.Add(1)
 		go q.worker()
 	}
+	if ttl > 0 {
+		// The cap is enforced inline on job creation; the ticker exists for
+		// the TTL, which must fire even on an idle daemon.
+		interval := ttl / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		q.wg.Add(1)
+		go q.gcLoop(interval)
+	}
 	return q
 }
 
-// Close stops the workers after their current runs finish. Queued jobs stay
-// queued (a restarted daemon re-resolves them from the store or re-runs).
+// Close stops the workers after their current runs finish and closes every
+// subscriber channel (exactly once — unsubscribe never closes, it only
+// detaches). Queued jobs stay queued (a restarted daemon re-resolves them
+// from the store or re-runs). Close is idempotent.
 func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	// Detach-and-close all subscribers under the lock: publishes after this
+	// point see empty subscriber sets, so nothing ever sends on a closed
+	// channel, and late unsubscribes only delete from an empty map.
+	for _, j := range q.jobs {
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = make(map[chan api.Event]struct{})
+	}
+	q.mu.Unlock()
 	close(q.quit)
 	q.wg.Wait()
 }
 
+func (q *Queue) gcLoop(interval time.Duration) {
+	defer q.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-q.quit:
+			return
+		case <-t.C:
+			q.mu.Lock()
+			q.gcLocked(time.Now())
+			q.mu.Unlock()
+		}
+	}
+}
+
+// gcLocked evicts finished jobs per the retention policy. Only terminal
+// jobs with zero subscribers are candidates: in-flight jobs and jobs with an
+// attached SSE stream always survive, and waiters holding a *Job pointer are
+// unaffected by eviction (they never go back through the map). Callers hold
+// q.mu.
+func (q *Queue) gcLocked(now time.Time) {
+	var victims []*Job
+	for _, j := range q.jobs {
+		if terminal(j.state) && len(j.subs) == 0 {
+			victims = append(victims, j)
+		}
+	}
+	evict := func(j *Job) {
+		delete(q.jobs, j.ID)
+		q.stats.Evicted++
+	}
+	if q.ttl > 0 {
+		kept := victims[:0]
+		for _, j := range victims {
+			if now.Sub(j.finished) > q.ttl {
+				evict(j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		victims = kept
+	}
+	if q.maxJobs > 0 && len(q.jobs) > q.maxJobs {
+		sort.Slice(victims, func(i, k int) bool {
+			return victims[i].finished.Before(victims[k].finished)
+		})
+		for _, j := range victims {
+			if len(q.jobs) <= q.maxJobs {
+				break
+			}
+			evict(j)
+		}
+	}
+}
+
+// JobCount returns the number of jobs currently retained in memory.
+func (q *Queue) JobCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
 func (q *Queue) newJobLocked(kind string) *Job {
+	// finishRun/finishFigure keep the map at the cap in the steady state,
+	// so this fires only when terminal jobs accumulated without a finish
+	// (queued-job cancellations) — not on every submission.
+	if q.maxJobs > 0 && len(q.jobs) > q.maxJobs {
+		q.gcLocked(time.Now())
+	}
 	q.seq++
 	j := &Job{
-		ID:    fmt.Sprintf("j%06d", q.seq),
+		ID:    fmt.Sprintf("%s-%06d", q.idBase, q.seq),
 		Kind:  kind,
 		state: api.StatusQueued,
 		done:  make(chan struct{}),
@@ -141,11 +264,19 @@ type Submitted struct {
 // immediately, a miss is enqueued, and a spec already queued or running —
 // no matter who submitted it — is shared rather than re-enqueued.
 func (q *Queue) SubmitRun(key string, spec sweep.RunSpec) (Submitted, error) {
-	canon := spec.Canonical()
-	fp, err := simstore.Fingerprint(canon)
+	fp, err := simstore.Fingerprint(spec)
 	if err != nil {
 		return Submitted{}, err
 	}
+	return q.SubmitRunFP(key, spec, fp)
+}
+
+// SubmitRunFP is SubmitRun with a precomputed fingerprint: callers that
+// already fingerprinted the spec for cluster routing skip re-hashing it
+// (for trace replays that means re-reading and re-digesting the whole
+// trace file).
+func (q *Queue) SubmitRunFP(key string, spec sweep.RunSpec, fp [32]byte) (Submitted, error) {
+	canon := spec.Canonical()
 	hexFP := simstore.Hex(fp)
 	if rec, ok := q.store.Get(fp); ok {
 		return Submitted{Fingerprint: hexFP, Cached: true, Stats: rec.Stats}, nil
@@ -186,11 +317,12 @@ func (q *Queue) SubmitRun(key string, spec sweep.RunSpec) (Submitted, error) {
 }
 
 // SubmitFigure starts a whole-figure orchestration as a job. The figure's
-// runs go through SubmitRun, so they hit the store, share in-flight
-// executions, and respect the simulation worker bound; the orchestration
-// itself runs on its own goroutine (it would deadlock the pool its runs
-// need). Cancellation stops it at the next run boundary.
-func (q *Queue) SubmitFigure(fig exp.FigureJob, opt exp.Options) *Job {
+// runs go through the route hook (cluster-owner forwarding; may be nil) and
+// then SubmitRun, so they hit the store, share in-flight executions, and
+// respect the simulation worker bound; the orchestration itself runs on its
+// own goroutine (it would deadlock the pool its runs need). Cancellation
+// stops it at the next run boundary.
+func (q *Queue) SubmitFigure(fig exp.FigureJob, opt exp.Options, route RouteFunc) *Job {
 	q.mu.Lock()
 	j := q.newJobLocked("figure")
 	j.FigureKey = fig.Key
@@ -202,7 +334,7 @@ func (q *Queue) SubmitFigure(fig exp.FigureJob, opt exp.Options) *Job {
 	q.mu.Unlock()
 
 	go func() {
-		ex := &storeExec{q: q, ctx: j.ctx, onProgress: func(p sweep.Progress) {
+		ex := &storeExec{q: q, ctx: j.ctx, route: route, onProgress: func(p sweep.Progress) {
 			q.setProgress(j, p)
 		}}
 		opt.Exec = ex
@@ -273,6 +405,7 @@ func (q *Queue) finishRun(j *Job, stats gpu.RunStats, err error) {
 	defer q.mu.Unlock()
 	q.stats.Running--
 	q.stats.Executed++
+	j.finished = time.Now()
 	j.durationMs = time.Since(j.started).Milliseconds()
 	if err != nil {
 		j.state = api.StatusFailed
@@ -286,12 +419,16 @@ func (q *Queue) finishRun(j *Job, stats gpu.RunStats, err error) {
 	delete(q.inflight, simstore.Hex(j.fp))
 	q.publishStatusLocked(j)
 	close(j.done)
+	if q.maxJobs > 0 && len(q.jobs) > q.maxJobs {
+		q.gcLocked(time.Now())
+	}
 }
 
 func (q *Queue) finishFigure(j *Job, text string, ex *storeExec, err error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.stats.Running--
+	j.finished = time.Now()
 	j.durationMs = time.Since(j.started).Milliseconds()
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || j.ctx.Err() != nil):
@@ -310,6 +447,9 @@ func (q *Queue) finishFigure(j *Job, text string, ex *storeExec, err error) {
 	j.cachedRuns, j.executedRuns = ex.cachedRuns, ex.executedRuns
 	q.publishStatusLocked(j)
 	close(j.done)
+	if q.maxJobs > 0 && len(q.jobs) > q.maxJobs {
+		q.gcLocked(time.Now())
+	}
 }
 
 func (q *Queue) setProgress(j *Job, p sweep.Progress) {
@@ -335,6 +475,7 @@ func (q *Queue) Cancel(id string) (api.JobStatus, bool) {
 	switch {
 	case j.state == api.StatusQueued:
 		j.state = api.StatusCancelled
+		j.finished = time.Now()
 		q.stats.Cancelled++
 		delete(q.inflight, simstore.Hex(j.fp))
 		q.publishStatusLocked(j)
@@ -395,14 +536,25 @@ func (q *Queue) statusLocked(j *Job) api.JobStatus {
 	return st
 }
 
+// Status returns a job's status snapshot by pointer. Unlike Job it works
+// after the retention policy evicted the job from the ID map, so holders of
+// a *Job (waiters, figure executors) are immune to eviction races.
+func (q *Queue) Status(j *Job) api.JobStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.statusLocked(j)
+}
+
 // Subscribe attaches an event channel to a job. The current status is
 // delivered first, so a late subscriber still observes a terminal event.
-// The returned func detaches (idempotent).
+// The returned func detaches (idempotent; it never closes the channel —
+// only Close does, exactly once). Subscribing to an unknown, retention-
+// evicted or closed-down job returns ok=false, never a dangling channel.
 func (q *Queue) Subscribe(id string) (<-chan api.Event, func(), bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
-	if !ok {
+	if !ok || q.closed {
 		return nil, nil, false
 	}
 	ch := make(chan api.Event, 256)
@@ -450,18 +602,31 @@ func (q *Queue) Stats() QueueStats {
 	st := q.stats
 	st.Workers = q.workers
 	st.Queued = len(q.pending)
+	st.Tracked = len(q.jobs)
 	return st
 }
+
+// RouteFunc lets the cluster layer intercept a figure's runs: it returns
+// (stats, cached, true, nil) when another daemon answered the spec,
+// (zero, false, true, err) when the owning daemon reported a genuine run
+// failure, and handled=false when the spec should execute locally (this
+// daemon owns it, no cluster is configured, or forwarding failed and local
+// execution is the failover).
+type RouteFunc func(ctx context.Context, key string, spec sweep.RunSpec) (stats gpu.RunStats, cached, handled bool, err error)
 
 // storeExec is the sweep.Executor injected into figure harnesses: every
 // declared run goes through SubmitRun (store hit, in-flight dedup, or a new
 // job on the bounded pool), and completions are reported through the
-// harness's progress hook. It mirrors the Runner contract: positional
-// results, partial results plus the lowest-index error on failure.
+// harness's progress hook. In cluster mode the route hook first offers each
+// run to its rendezvous owner, so a figure's runs land on (and warm the
+// stores of) the hash-designated daemons. It mirrors the Runner contract:
+// positional results, partial results plus the lowest-index error on
+// failure.
 type storeExec struct {
 	q          *Queue
 	ctx        context.Context
 	onProgress func(sweep.Progress)
+	route      RouteFunc
 
 	cachedRuns   int
 	executedRuns int
@@ -485,10 +650,57 @@ func (e *storeExec) Run(ctx context.Context, specs []sweep.RunSpec) ([]sweep.Res
 		job *Job
 	}
 	var waits []pending
+	// In cluster mode, offer every spec to its remote owner concurrently
+	// up front: each forward blocks for the owner's full simulation, and
+	// doing them inside the sequential loop below would serialize the
+	// figure. The owners' own worker pools bound actual simulation load;
+	// the semaphore only caps idle-waiting connections.
+	type routedResult struct {
+		stats   gpu.RunStats
+		cached  bool
+		handled bool
+		err     error
+	}
+	var routed []routedResult
+	if e.route != nil {
+		routed = make([]routedResult, len(specs))
+		sem := make(chan struct{}, 32)
+		var wg sync.WaitGroup
+		for i, s := range specs {
+			wg.Add(1)
+			go func(i int, s sweep.RunSpec) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return // unhandled; the loop below reports ctx.Err
+				}
+				var r routedResult
+				r.stats, r.cached, r.handled, r.err = e.route(ctx, s.Key, s)
+				routed[i] = r
+			}(i, s)
+		}
+		wg.Wait()
+	}
+
 	for i, s := range specs {
 		results[i] = sweep.Result{Index: i, Key: s.Key}
 		if err := ctx.Err(); err != nil {
 			return results, err
+		}
+		if routed != nil && routed[i].handled {
+			if err := routed[i].err; err != nil {
+				results[i].Err = fmt.Errorf("sweep: run %q: %w", s.Key, err)
+			} else {
+				results[i].Stats = routed[i].stats
+				if routed[i].cached {
+					e.cachedRuns++
+				} else {
+					e.executedRuns++
+				}
+			}
+			report(s.Key)
+			continue
 		}
 		sub, err := e.q.SubmitRun(s.Key, s)
 		switch {
@@ -509,7 +721,9 @@ func (e *storeExec) Run(ctx context.Context, specs []sweep.RunSpec) ([]sweep.Res
 		case <-ctx.Done():
 			return results, ctx.Err()
 		}
-		st, _ := e.q.Job(w.job.ID)
+		// Look the status up by pointer, not ID: the retention GC may have
+		// already dropped a just-finished job from the ID map.
+		st := e.q.Status(w.job)
 		switch st.Status {
 		case api.StatusDone:
 			results[w.idx].Stats = *st.Stats

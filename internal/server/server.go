@@ -14,25 +14,51 @@
 //	GET  /v1/figures/{key}   regenerate one paper figure, reusing the store
 //	                         for every run (?async=1 returns a job ID;
 //	                         scale with ?cycles=&warmup=&seed=&quick=1)
+//	GET  /v1/cluster         membership view with per-peer health and
+//	                         store/queue stats
 //	GET  /healthz            liveness + store/queue summary
 //	GET  /metrics            Prometheus-style plain-text counters
 //
 // Determinism makes the cache exact, not approximate: a spec's fingerprint
 // (simstore.Fingerprint) identifies its RunStats bit-for-bit, so a cache
 // hit is byte-identical to re-running the simulation.
+//
+// In cluster mode (Config.Peers) daemons shard the result store by run
+// fingerprint using rendezvous hashing (internal/cluster): any daemon
+// accepts any request, but each spec executes — and its record is stored —
+// on its hash-designated owner, reached by transparent forwarding. Finished
+// jobs are retained in memory only per the Config.JobTTL/MaxJobs policy;
+// evicted job IDs answer 404 while their statistics remain in the store.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exp"
+	"repro/internal/gpu"
 	"repro/internal/server/api"
+	"repro/internal/server/client"
 	"repro/internal/simstore"
 	"repro/internal/sweep"
+)
+
+// Default finished-job retention policy (the cmd/simd flag defaults).
+// Finished jobs are kept in memory so clients can poll their results; an
+// unbounded map is a memory leak under sustained traffic, so the daemon
+// evicts terminal, unsubscribed jobs after DefaultJobTTL and whenever more
+// than DefaultMaxJobs are retained. The statistics themselves live on in
+// the content-addressed store — eviction only forgets the job ID.
+const (
+	DefaultJobTTL  = 15 * time.Minute
+	DefaultMaxJobs = 1000
 )
 
 // Config assembles a Server.
@@ -41,23 +67,60 @@ type Config struct {
 	Store *simstore.Store
 	// Workers bounds concurrent simulations; 0 uses GOMAXPROCS.
 	Workers int
+
+	// JobTTL evicts finished jobs older than this (0 keeps them forever);
+	// MaxJobs caps the retained job count (0 = unbounded). cmd/simd passes
+	// DefaultJobTTL / DefaultMaxJobs unless overridden by flags.
+	JobTTL  time.Duration
+	MaxJobs int
+
+	// Self and Peers enable cluster mode: Peers is the full member list
+	// (base URLs, including this daemon) and Self is this daemon's entry in
+	// it. Every member must be configured with the same Peers set. Empty
+	// Peers means single-node operation.
+	Self  string
+	Peers []string
 }
 
-// Server is the simd HTTP handler plus its job queue.
+// Server is the simd HTTP handler plus its job queue and (in cluster mode)
+// its view of the peer membership.
 type Server struct {
 	store   *simstore.Store
 	queue   *Queue
 	mux     *http.ServeMux
 	started time.Time
+
+	cluster     *cluster.Membership // nil single-node
+	selfAddr    string              // advertised URL, if known (even single-node)
+	peerClients map[string]*client.Client
+
+	forwarded uint64 // atomic: specs sent to their owner daemon
+	failovers uint64 // atomic: forwards that fell back to local execution
 }
 
-// New builds a Server and starts its worker pool; Close releases it.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool; Close releases it. The
+// only error source is an invalid cluster configuration.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
-		store:   cfg.Store,
-		queue:   NewQueue(cfg.Store, cfg.Workers),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
+		store:    cfg.Store,
+		queue:    NewQueue(cfg.Store, cfg.Workers, cfg.JobTTL, cfg.MaxJobs),
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		selfAddr: cluster.Normalize(cfg.Self),
+	}
+	if len(cfg.Peers) > 0 {
+		m, err := cluster.New(cfg.Self, cfg.Peers)
+		if err != nil {
+			s.queue.Close()
+			return nil, err
+		}
+		s.cluster = m
+		s.peerClients = make(map[string]*client.Client)
+		for _, p := range m.Peers() {
+			if p != m.Self() {
+				s.peerClients[p] = client.New(p)
+			}
+		}
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
@@ -65,9 +128,18 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/figures/{key}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
+}
+
+// Self returns the daemon's advertised cluster address ("" single-node).
+func (s *Server) Self() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.Self()
 }
 
 // Handler returns the HTTP handler.
@@ -94,10 +166,13 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // maxRequestBytes bounds request bodies; batch specs are small.
 const maxRequestBytes = 16 << 20
 
-// handleRuns implements POST /v1/runs: resolve every spec, serve store hits
-// inline, enqueue misses (deduplicated against in-flight jobs), and — with
-// ?wait=1 — block until the enqueued jobs finish so the response carries
-// every result.
+// handleRuns implements POST /v1/runs: resolve every spec, route each to
+// its cluster owner (forwarded transparently; any daemon is a valid entry
+// point), serve store hits inline, enqueue misses (deduplicated against
+// in-flight jobs), and — with ?wait=1 — block until the enqueued jobs
+// finish so the response carries every result. An unreachable owner fails
+// over to local execution: determinism makes the duplicate harmless, and
+// the request is never lost.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes))
 	if err != nil {
@@ -135,19 +210,104 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		specs[i] = spec
 	}
 
+	// Cluster routing: forwarded requests are always executed here (at most
+	// one hop); otherwise each spec whose rendezvous owner is another member
+	// is sent there. Forwards happen before any local enqueue, so a failed
+	// forward can cleanly fall back to the local path below.
+	owners := make([]string, len(req.Specs)) // "" = execute locally
+	fps := make([][32]byte, len(req.Specs))
+	haveFP := make([]bool, len(req.Specs))
+	if s.cluster != nil && r.Header.Get(api.ForwardedHeader) == "" {
+		for i := range specs {
+			fp, err := simstore.Fingerprint(specs[i])
+			if err != nil {
+				continue // local; SubmitRun reports the error properly
+			}
+			fps[i], haveFP[i] = fp, true
+			if owner := s.cluster.Owner(fp); owner != s.cluster.Self() {
+				owners[i] = owner
+			}
+		}
+	}
+	wantWait := r.URL.Query().Get("wait") == "1"
+
 	results := make([]api.RunResult, len(req.Specs))
+	remote := map[string][]int{}
+	for i, o := range owners {
+		if o != "" {
+			remote[o] = append(remote[o], i)
+		}
+	}
+	// Owner groups are independent (disjoint spec indices), so forward them
+	// concurrently: a wait=1 batch spanning several owners costs the slowest
+	// owner's simulations, not the sum over owners.
+	var fwdWG sync.WaitGroup
+	for owner, idxs := range remote {
+		fwdWG.Add(1)
+		go func(owner string, idxs []int) {
+			defer fwdWG.Done()
+			sub := api.RunRequest{Specs: make([]api.Spec, len(idxs))}
+			for k, i := range idxs {
+				sub.Specs[k] = req.Specs[i]
+			}
+			resp, err := s.peerClients[owner].ForwardRuns(r.Context(), sub, wantWait)
+			if err != nil || len(resp.Results) != len(idxs) {
+				if r.Context().Err() != nil {
+					// The client hung up, not the owner: nobody is waiting
+					// for a local re-execution, so don't start one.
+					return
+				}
+				// Owner unreachable (or answered garbage): execute locally.
+				atomic.AddUint64(&s.failovers, uint64(len(idxs)))
+				for _, i := range idxs {
+					owners[i] = ""
+				}
+				return
+			}
+			atomic.AddUint64(&s.forwarded, uint64(len(idxs)))
+			for k, i := range idxs {
+				results[i] = resp.Results[k]
+				if results[i].Peer == "" {
+					results[i].Peer = owner
+				}
+			}
+		}(owner, idxs)
+	}
+	fwdWG.Wait()
+	if r.Context().Err() != nil {
+		return // disconnected mid-forward; the response has no reader
+	}
+
 	jobs := make([]*Job, len(req.Specs))
 	// Jobs this request created (not dedup-shared ones owned by earlier
 	// submitters): cancelled if a later spec fails to enqueue, so an error
-	// response never leaves orphaned simulations behind.
+	// response never leaves orphaned simulations behind — including jobs
+	// the forwarding pass already created on remote owners.
 	var ownJobs []*Job
-	for i, wireSpec := range req.Specs {
-		res := api.RunResult{Key: wireSpec.Key}
-		sub, err := s.queue.SubmitRun(wireSpec.Key, specs[i])
-		if err != nil {
-			for _, j := range ownJobs {
-				s.queue.Cancel(j.ID)
+	cancelOwn := func() {
+		for _, j := range ownJobs {
+			s.queue.Cancel(j.ID)
+		}
+		for i, o := range owners {
+			if o != "" && results[i].JobID != "" && !results[i].Cached {
+				s.peerClients[o].ForwardCancel(r.Context(), results[i].JobID)
 			}
+		}
+	}
+	for i, wireSpec := range req.Specs {
+		if owners[i] != "" {
+			continue // answered by its owner daemon above
+		}
+		res := api.RunResult{Key: wireSpec.Key, Peer: s.Self()}
+		var sub Submitted
+		var err error
+		if haveFP[i] {
+			sub, err = s.queue.SubmitRunFP(wireSpec.Key, specs[i], fps[i])
+		} else {
+			sub, err = s.queue.SubmitRun(wireSpec.Key, specs[i])
+		}
+		if err != nil {
+			cancelOwn()
 			writeError(w, http.StatusServiceUnavailable, "spec %d: %v", i, err)
 			return
 		}
@@ -168,7 +328,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		results[i] = res
 	}
 
-	if r.URL.Query().Get("wait") == "1" {
+	if wantWait {
 		for i, j := range jobs {
 			if j == nil {
 				continue
@@ -182,22 +342,129 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.RunResponse{Results: results})
 }
 
+// routeRun is the RouteFunc wired into figure jobs: it forwards each of a
+// figure's runs to its rendezvous owner so figure generation places (and
+// caches) every run on the hash-designated daemon. handled=false falls
+// through to local execution — this daemon owns the spec, there is no
+// cluster, fingerprinting failed, or the owner is unreachable (failover).
+func (s *Server) routeRun(ctx context.Context, key string, spec sweep.RunSpec) (gpu.RunStats, bool, bool, error) {
+	if s.cluster == nil {
+		return gpu.RunStats{}, false, false, nil
+	}
+	fp, err := simstore.Fingerprint(spec)
+	if err != nil {
+		return gpu.RunStats{}, false, false, nil
+	}
+	owner := s.cluster.Owner(fp)
+	if owner == s.cluster.Self() {
+		return gpu.RunStats{}, false, false, nil
+	}
+	wire := api.FromRunSpec(spec)
+	wire.Key = key
+	resp, err := s.peerClients[owner].ForwardRuns(ctx, api.RunRequest{Specs: []api.Spec{wire}}, true)
+	if err != nil || len(resp.Results) != 1 {
+		atomic.AddUint64(&s.failovers, 1)
+		return gpu.RunStats{}, false, false, nil
+	}
+	atomic.AddUint64(&s.forwarded, 1)
+	r := resp.Results[0]
+	switch {
+	case r.Status == api.StatusDone && r.Stats != nil:
+		return *r.Stats, r.Cached, true, nil
+	case r.Status == api.StatusFailed:
+		// The owner ran the spec and it genuinely failed (deterministic —
+		// re-executing here would fail identically); report, don't retry.
+		msg := r.Error
+		if msg == "" {
+			msg = fmt.Sprintf("owner %s answered status failed", owner)
+		}
+		return gpu.RunStats{}, false, true, fmt.Errorf("%s", msg)
+	default:
+		// Cancelled (someone cancelled the owner's shared job) or any other
+		// non-answer: not a property of the spec, so fall back to executing
+		// locally rather than failing the figure.
+		atomic.AddUint64(&s.failovers, 1)
+		return gpu.RunStats{}, false, false, nil
+	}
+}
+
+// findRemoteJob asks every other member for a job unknown locally (each
+// lookup is marked forwarded, so peers answer from their own queue only —
+// one hop, no recursive fan-out). Forwarded submissions hand out job IDs
+// that live on the owner daemon; proxying keeps every daemon a valid entry
+// point for polling them.
+func (s *Server) findRemoteJob(ctx context.Context, id string) (*api.JobStatus, string, bool) {
+	if s.cluster == nil {
+		return nil, "", false
+	}
+	type hit struct {
+		st   *api.JobStatus
+		peer string
+	}
+	hits := make(chan hit, len(s.peerClients))
+	var wg sync.WaitGroup
+	for peer, cl := range s.peerClients {
+		wg.Add(1)
+		go func(peer string, cl *client.Client) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			if st, err := cl.ForwardJob(pctx, id); err == nil {
+				hits <- hit{st, peer}
+			}
+		}(peer, cl)
+	}
+	// Answer on the first hit: at most one member holds any job ID, so a
+	// slow or dead peer must not delay a lookup the owner already answered.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case h := <-hits:
+		return h.st, h.peer, true
+	case <-done:
+		select { // a hit can race the close; drain before declaring a miss
+		case h := <-hits:
+			return h.st, h.peer, true
+		default:
+			return nil, "", false
+		}
+	}
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.queue.Job(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	if st, ok := s.queue.Job(id); ok {
+		st.Peer = s.Self()
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	if r.Header.Get(api.ForwardedHeader) == "" {
+		if st, peer, ok := s.findRemoteJob(r.Context(), id); ok {
+			st.Peer = peer
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, "no job %q", id)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	st, ok := s.queue.Cancel(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	id := r.PathValue("id")
+	if st, ok := s.queue.Cancel(id); ok {
+		st.Peer = s.Self()
+		writeJSON(w, http.StatusOK, st)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	if r.Header.Get(api.ForwardedHeader) == "" {
+		if _, peer, ok := s.findRemoteJob(r.Context(), id); ok {
+			if st, err := s.peerClients[peer].ForwardCancel(r.Context(), id); err == nil {
+				st.Peer = peer
+				writeJSON(w, http.StatusOK, st)
+				return
+			}
+		}
+	}
+	writeError(w, http.StatusNotFound, "no job %q", id)
 }
 
 // handleJobEvents streams a job's lifecycle as server-sent events: a
@@ -205,9 +472,18 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // transitions and (for figure jobs) per-run "progress" events, ending when
 // the job reaches a terminal state.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
-	events, unsubscribe, ok := s.queue.Subscribe(r.PathValue("id"))
+	id := r.PathValue("id")
+	events, unsubscribe, ok := s.queue.Subscribe(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		// A forwarded submission's job lives on its owner: redirect the
+		// stream there rather than proxying event-by-event.
+		if r.Header.Get(api.ForwardedHeader) == "" {
+			if _, peer, found := s.findRemoteJob(r.Context(), id); found {
+				http.Redirect(w, r, peer+"/v1/jobs/"+id+"/events", http.StatusTemporaryRedirect)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "no job %q", id)
 		return
 	}
 	defer unsubscribe()
@@ -220,7 +496,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev := <-events:
+		case ev, ok := <-events:
+			if !ok {
+				// Queue shut down: the channel was closed (exactly once, by
+				// Queue.Close); end the stream instead of spinning on zero
+				// values.
+				return
+			}
 			data, err := json.Marshal(ev)
 			if err != nil {
 				return
@@ -271,7 +553,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := s.queue.SubmitFigure(fig, expOptions(wireOpts))
+	j := s.queue.SubmitFigure(fig, expOptions(wireOpts), s.routeRun)
 	if r.URL.Query().Get("async") == "1" {
 		writeJSON(w, http.StatusAccepted, api.FigureResponse{Key: fig.Key, Name: fig.Name, JobID: j.ID})
 		return
@@ -297,14 +579,68 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.Health{
+// healthSnapshot is the /healthz body, shared with /v1/cluster's self entry.
+func (s *Server) healthSnapshot() api.Health {
+	qs := s.queue.Stats()
+	return api.Health{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		StoreDir:      s.store.Dir(),
 		StoreEntries:  s.store.Len(),
-		Workers:       s.queue.Stats().Workers,
-	})
+		Workers:       qs.Workers,
+		Queued:        qs.Queued,
+		Running:       qs.Running,
+		JobsTracked:   qs.Tracked,
+		Self:          s.Self(),
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+// handleCluster implements GET /v1/cluster: the membership view with a live
+// health probe (2-second bound) and store/queue stats per member. A single-
+// node daemon reports itself as the only member.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	st := api.ClusterStatus{Self: s.Self()}
+	if s.cluster == nil {
+		h := s.healthSnapshot()
+		// selfAddr is known whenever cmd/simd started us (it always derives
+		// an advertised URL); library embedders without one report "".
+		st.Peers = []api.ClusterPeer{{URL: s.selfAddr, Self: true, Healthy: true, Health: &h}}
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	// Probe peers concurrently: a dead member costs its 2-second timeout
+	// once, not once per dead member.
+	peers := s.cluster.Peers()
+	st.Peers = make([]api.ClusterPeer, len(peers))
+	var wg sync.WaitGroup
+	for i, peer := range peers {
+		entry := api.ClusterPeer{URL: peer, Self: peer == s.cluster.Self()}
+		if entry.Self {
+			h := s.healthSnapshot()
+			entry.Healthy, entry.Health = true, &h
+			st.Peers[i] = entry
+			continue
+		}
+		wg.Add(1)
+		go func(i int, entry api.ClusterPeer) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+			defer cancel()
+			h, err := s.peerClients[entry.URL].Health(ctx)
+			if err != nil {
+				entry.Error = err.Error()
+			} else {
+				entry.Healthy, entry.Health = true, h
+			}
+			st.Peers[i] = entry
+		}(i, entry)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -319,7 +655,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "simd_jobs_failed_total %d\n", qs.Failed)
 	fmt.Fprintf(w, "simd_jobs_cancelled_total %d\n", qs.Cancelled)
 	fmt.Fprintf(w, "simd_jobs_dedup_hits_total %d\n", qs.DedupHits)
+	fmt.Fprintf(w, "simd_jobs_tracked %d\n", qs.Tracked)
+	fmt.Fprintf(w, "simd_jobs_evicted_total %d\n", qs.Evicted)
 	fmt.Fprintf(w, "simd_runs_executed_total %d\n", qs.Executed)
+	if s.cluster != nil {
+		fmt.Fprintf(w, "simd_cluster_peers %d\n", s.cluster.Len())
+		fmt.Fprintf(w, "simd_cluster_forwarded_total %d\n", atomic.LoadUint64(&s.forwarded))
+		fmt.Fprintf(w, "simd_cluster_failovers_total %d\n", atomic.LoadUint64(&s.failovers))
+	}
 	fmt.Fprintf(w, "simd_store_entries %d\n", ss.Entries)
 	fmt.Fprintf(w, "simd_store_hits_total %d\n", ss.Hits)
 	fmt.Fprintf(w, "simd_store_misses_total %d\n", ss.Misses)

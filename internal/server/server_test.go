@@ -25,7 +25,10 @@ func newTestServer(t *testing.T, workers int) (*Server, *client.Client) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(Config{Store: store, Workers: workers})
+	srv, err := New(Config{Store: store, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

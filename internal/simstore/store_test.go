@@ -155,6 +155,70 @@ func TestStoreEviction(t *testing.T) {
 	}
 }
 
+// TestEvictionRacesGet hammers Get on a hot record while concurrent Puts
+// force LRU evictions through the same store (run with -race): an eviction
+// must never corrupt a read in flight — every hit returns the exact stats
+// that were stored, and a miss is a clean miss, never a half-read record.
+func TestEvictionRacesGet(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotSpec := specFor(t, "VA", 1000)
+	hotFP := mustFP(t, hotSpec)
+	hotStats := sampleStats(77)
+	if err := st.Put(hotFP, "hot", hotSpec, hotStats); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(hotStats)
+
+	done := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			spec := specFor(t, "VA", int64(i))
+			if err := st.Put(mustFP(t, spec), "churn", spec, sampleStats(uint64(i))); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	hits := 0
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		rec, ok := st.Get(hotFP)
+		if !ok {
+			// Evicted by the churn: legal. Reinstate and keep going.
+			if err := st.Put(hotFP, "hot", hotSpec, hotStats); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		hits++
+		got, _ := json.Marshal(rec.Stats)
+		if string(got) != string(want) {
+			t.Fatalf("concurrent eviction corrupted a read:\ngot  %s\nwant %s", got, want)
+		}
+	}
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if hits == 0 {
+		t.Error("reader never hit the hot record; race not exercised")
+	}
+	if st.Len() > 4 {
+		t.Errorf("store holds %d entries, want <= 4", st.Len())
+	}
+}
+
 func TestStoreCorruptRecord(t *testing.T) {
 	dir := t.TempDir()
 	st, err := Open(dir, Options{})

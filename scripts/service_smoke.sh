@@ -4,7 +4,10 @@
 # assert that the second response is served from the store with
 # byte-identical statistics (the determinism/caching contract; see
 # DESIGN.md "Determinism-based result caching"). A quick figure is fetched
-# twice as well, asserting the repeat is fully cache-served.
+# twice as well, asserting the repeat is fully cache-served. A second phase
+# starts a two-daemon cluster (-peers), POSTs the same spec to both members,
+# and asserts exactly one of them executed it — the other answer is a
+# forwarded, byte-identical cache hit from the rendezvous owner.
 #
 # Usage: scripts/service_smoke.sh [store-dir]
 #
@@ -64,5 +67,79 @@ jq -e '.executed_runs == 0 and .cached_runs > 0' fig2.json >/dev/null \
   || { echo "repeat figure not cache-served:"; jq 'del(.text)' fig2.json; exit 1; }
 
 curl -sf "$url/metrics" | grep -E 'simd_store_(hits|puts)_total'
+
+kill "$simd_pid" 2>/dev/null || true
+wait "$simd_pid" 2>/dev/null || true
+
+echo
+echo "=== cluster phase: two daemons, one owner per spec ==="
+
+# Rendezvous membership must be known before either daemon starts, so pick
+# two free ports up front (bind-test via /dev/tcp; connection refused =
+# free). The tiny window between picking and listening is acceptable for a
+# smoke test.
+freeport() {
+  local p
+  while :; do
+    p=$(( (RANDOM % 20000) + 20000 ))
+    if ! (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+      echo "$p"
+      return
+    fi
+    exec 3>&- 2>/dev/null || true
+  done
+}
+pa=$(freeport)
+pb=$(freeport)
+while [ "$pb" = "$pa" ]; do pb=$(freeport); done
+url_a="http://127.0.0.1:$pa"
+url_b="http://127.0.0.1:$pb"
+peers="$url_a,$url_b"
+
+./smoke-simd -addr "127.0.0.1:$pa" -store "$store/cluster-a" -peers "$peers" > smoke-simd-a.log 2>&1 &
+pid_a=$!
+./smoke-simd -addr "127.0.0.1:$pb" -store "$store/cluster-b" -peers "$peers" > smoke-simd-b.log 2>&1 &
+pid_b=$!
+trap 'kill "$pid_a" "$pid_b" 2>/dev/null || true; rm -f smoke-simd' EXIT
+
+for member in "$url_a" "$url_b"; do
+  up=""
+  for _ in $(seq 1 50); do
+    curl -sf "$member/healthz" >/dev/null 2>&1 && { up=1; break; }
+    sleep 0.2
+  done
+  [ -n "$up" ] || { echo "cluster member $member never came up"; cat smoke-simd-a.log smoke-simd-b.log; exit 1; }
+done
+echo "cluster up at $url_a + $url_b"
+
+curl -sf "$url_a/v1/cluster" | jq -e '[.peers[] | select(.healthy)] | length == 2' >/dev/null \
+  || { echo "cluster endpoint does not report 2 healthy peers"; curl -s "$url_a/v1/cluster"; exit 1; }
+
+# A spec distinct from the single-daemon phase, so it is a genuine miss.
+cspec='{"benchmarks":["VA"],"measure_cycles":22000,"warmup_cycles":8000}'
+
+echo "POST spec to member A"
+curl -sf -X POST "$url_a/v1/runs?wait=1" -d "$cspec" > cl-a.json
+jq -e '.results[0].status == "done"' cl-a.json >/dev/null \
+  || { echo "member A response wrong:"; cat cl-a.json; exit 1; }
+
+echo "POST same spec to member B"
+curl -sf -X POST "$url_b/v1/runs?wait=1" -d "$cspec" > cl-b.json
+jq -e '.results[0].status == "done" and .results[0].cached == true' cl-b.json >/dev/null \
+  || { echo "second member's answer not a forwarded cache hit:"; cat cl-b.json; exit 1; }
+
+echo "exactly one member executed the spec"
+ex_a=$(curl -sf "$url_a/metrics" | awk '/^simd_runs_executed_total/ {print $2}')
+ex_b=$(curl -sf "$url_b/metrics" | awk '/^simd_runs_executed_total/ {print $2}')
+[ "$((ex_a + ex_b))" -eq 1 ] \
+  || { echo "executed counts A=$ex_a B=$ex_b, want exactly one total"; exit 1; }
+
+echo "both members name the same owner and return byte-identical stats"
+jq -cS '.results[0].stats' cl-a.json > cl-a.stats
+jq -cS '.results[0].stats' cl-b.json > cl-b.stats
+cmp cl-a.stats cl-b.stats \
+  || { echo "cluster answers differ between members"; exit 1; }
+[ "$(jq -r '.results[0].peer' cl-a.json)" = "$(jq -r '.results[0].peer' cl-b.json)" ] \
+  || { echo "members disagree about the owner peer"; cat cl-a.json cl-b.json; exit 1; }
 
 echo "service smoke: OK (store in $store)"
