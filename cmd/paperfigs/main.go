@@ -20,6 +20,12 @@
 //	paperfigs -figure 7 -cycles 40000
 //	paperfigs -figure tables
 //	paperfigs -figure all -server http://127.0.0.1:8404
+//
+// Besides figures, the internal/scenario catalog runs by name or level:
+// -scenarios level1 executes every level-1 recipe determinism-gated (each
+// batch twice, statistics compared byte for byte) and exits non-zero on any
+// invariant violation; -list-scenarios and -scenario-matrix inspect the
+// catalog without simulating.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/scenario"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
 	"repro/internal/sweep"
@@ -44,20 +51,43 @@ func main() { os.Exit(run()) }
 // every exit path, including errors; os.Exit would skip them.
 func run() int {
 	var (
-		figureFlag   = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
-		figuresFlag  = flag.String("figures", "", "comma-separated list of figures to regenerate (overrides -figure)")
-		cyclesFlag   = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
-		warmupFlag   = flag.Uint64("warmup", 0, "override warm-up cycles per run (0 = default)")
-		seedFlag     = flag.Int64("seed", 1, "workload generator seed")
-		quickFlag    = flag.Bool("quick", false, "use the reduced quick-run scale")
-		parallelFlag = flag.Bool("parallel", false, "fan each figure's runs across all CPU cores")
-		workersFlag  = flag.Int("workers", 0, "exact worker-pool size (implies -parallel; 0 = serial unless -parallel)")
-		progressFlag = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
-		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
-		memProfile   = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
-		serverFlag   = flag.String("server", "", "farm figure generation out to simd daemon(s) at this comma-separated base URL list (e.g. http://127.0.0.1:8404,http://127.0.0.1:8405); requests route to each run's cluster owner and fail over past dead peers; -parallel/-workers then apply server-side")
+		figureFlag     = flag.String("figure", "all", "which figure to regenerate: 2, 3, 7, 11, 12, 13, 14, 15, 16, tables, all")
+		figuresFlag    = flag.String("figures", "", "comma-separated list of figures to regenerate (overrides -figure)")
+		cyclesFlag     = flag.Uint64("cycles", 0, "override measured cycles per run (0 = default)")
+		warmupFlag     = flag.Uint64("warmup", 0, "override warm-up cycles per run (0 = default)")
+		seedFlag       = flag.Int64("seed", 1, "workload generator seed")
+		quickFlag      = flag.Bool("quick", false, "use the reduced quick-run scale")
+		parallelFlag   = flag.Bool("parallel", false, "fan each figure's runs across all CPU cores")
+		workersFlag    = flag.Int("workers", 0, "exact worker-pool size (implies -parallel; 0 = serial unless -parallel)")
+		progressFlag   = flag.Bool("progress", true, "report per-run progress on stderr (auto-disabled when stderr is not a terminal)")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
+		memProfile     = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
+		serverFlag     = flag.String("server", "", "farm figure generation out to simd daemon(s) at this comma-separated base URL list (e.g. http://127.0.0.1:8404,http://127.0.0.1:8405); requests route to each run's cluster owner and fail over past dead peers; -parallel/-workers then apply server-side")
+		scenariosFlag  = flag.String("scenarios", "", "run scenario recipes instead of figures: a level (\"level1\" runs levels up to 1), \"all\", or comma-separated names; always determinism-gated, exit 1 on any invariant violation")
+		listScenarios  = flag.Bool("list-scenarios", false, "list the scenario catalog (name, level, axes, figures) and exit")
+		scenarioMatrix = flag.Bool("scenario-matrix", false, "print the generated scenario × figure support matrix and exit")
 	)
 	flag.Parse()
+
+	if *listScenarios {
+		for _, sc := range scenario.Catalog() {
+			axes := make([]string, len(sc.Axes))
+			for i, a := range sc.Axes {
+				axes[i] = string(a)
+			}
+			figs := "-"
+			if len(sc.Figures) > 0 {
+				figs = strings.Join(sc.Figures, ",")
+			}
+			fmt.Printf("%-26s %s  axes=%s figures=%s\n    %s\n",
+				sc.Name, sc.Level, strings.Join(axes, ","), figs, sc.Description)
+		}
+		return 0
+	}
+	if *scenarioMatrix {
+		fmt.Print(scenario.Matrix())
+		return 0
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -129,6 +159,14 @@ func run() int {
 		opt.Progress = func(p sweep.Progress) {
 			progressLine(p.Done, p.Total, p.Key)
 		}
+	}
+
+	if *scenariosFlag != "" {
+		if *serverFlag != "" {
+			fmt.Fprintln(os.Stderr, "paperfigs: -scenarios runs locally; use the simd /v1/scenarios endpoint for remote execution")
+			return 1
+		}
+		return runScenarios(*scenariosFlag, workers, *cyclesFlag, *warmupFlag, *seedFlag, showProgress)
 	}
 
 	selected := []string{*figureFlag}
@@ -234,6 +272,77 @@ func run() int {
 	fmt.Printf("[total: %.1fs, %s]\n", time.Since(totalStart).Seconds(), mode)
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d requested figures failed\n", failed, len(selected))
+		return 1
+	}
+	return 0
+}
+
+// runScenarios resolves a -scenarios selection (a level, "all", or names) and
+// executes each recipe with the determinism gate on. Violations are printed
+// per scenario and make the exit status non-zero; -cycles/-warmup/-seed
+// override the level-derived scale.
+func runScenarios(sel string, workers int, cycles, warmup uint64, seed int64, showProgress bool) int {
+	var list []scenario.Scenario
+	if sel == "all" {
+		list = scenario.Catalog()
+	} else if l, ok := scenario.ParseLevel(sel); ok {
+		list = scenario.UpToLevel(l)
+	} else {
+		for _, name := range strings.Split(sel, ",") {
+			if name = strings.TrimSpace(name); name == "" {
+				continue
+			}
+			sc, ok := scenario.ByName(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paperfigs: unknown scenario %q (see -list-scenarios)\n", name)
+				return 1
+			}
+			list = append(list, sc)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: -scenarios %q selects no scenarios\n", sel)
+		return 1
+	}
+
+	failed := 0
+	start := time.Now()
+	for _, sc := range list {
+		scale := sc.Level.Scale()
+		scale.Seed = seed
+		if cycles > 0 {
+			scale.MeasureCycles = cycles
+		}
+		if warmup > 0 {
+			scale.WarmupCycles = warmup
+		}
+		opts := scenario.RunOptions{
+			Workers:         workers,
+			Scale:           &scale,
+			DeterminismGate: true,
+		}
+		if showProgress {
+			opts.Progress = func(p sweep.Progress) {
+				progressLine(p.Done, p.Total, p.Key)
+			}
+		}
+		rep, err := sc.Run(context.Background(), opts)
+		if err != nil {
+			if showProgress {
+				fmt.Fprintf(os.Stderr, "\r%-56s\r", "")
+			}
+			fmt.Fprintf(os.Stderr, "paperfigs: scenario %s: %v\n", sc.Name, err)
+			failed++
+			continue
+		}
+		fmt.Print(rep.Format())
+		if !rep.OK() {
+			failed++
+		}
+	}
+	fmt.Printf("[%d scenarios, %.1fs]\n", len(list), time.Since(start).Seconds())
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d scenarios failed\n", failed, len(list))
 		return 1
 	}
 	return 0

@@ -236,6 +236,13 @@ func (g *GPU) SetAppModes(modes []config.LLCMode) error {
 			return err
 		}
 		g.mode = config.LLCPrivate
+	} else {
+		// A shared-view application routes requests across clusters, so a
+		// private base organization's MC-router bypass must be lifted.
+		if err := g.setBypass(false); err != nil {
+			return err
+		}
+		g.mode = config.LLCShared
 	}
 	return nil
 }

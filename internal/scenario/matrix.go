@@ -1,0 +1,50 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// Matrix renders the scenario × figure support matrix as a GitHub-flavored
+// markdown table: one row per catalog entry (with its level and axes), one
+// column per exp registry figure key, a ● where the scenario's workload space
+// covers that figure's harness. The README embeds it between
+// scenario-matrix marker comments; TestREADMEMatrixCurrent keeps it fresh.
+func Matrix() string {
+	figs := exp.Figures()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario catalog v%d — run any row with `paperfigs -scenarios <name>`.\n\n", CatalogVersion)
+
+	b.WriteString("| Scenario | Level | Axes |")
+	for _, f := range figs {
+		fmt.Fprintf(&b, " %s |", f.Key)
+	}
+	b.WriteString("\n|---|---|---|")
+	for range figs {
+		b.WriteString(":-:|")
+	}
+	b.WriteString("\n")
+
+	for _, sc := range Catalog() {
+		axes := make([]string, len(sc.Axes))
+		for i, a := range sc.Axes {
+			axes[i] = string(a)
+		}
+		covered := map[string]bool{}
+		for _, key := range sc.Figures {
+			covered[key] = true
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s |", sc.Name, sc.Level, strings.Join(axes, ", "))
+		for _, f := range figs {
+			cell := " "
+			if covered[f.Key] {
+				cell = "●"
+			}
+			fmt.Fprintf(&b, " %s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package scenario
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/sweep"
+)
+
+var update = flag.Bool("update", false, "rewrite the README scenario matrix")
+
+// TestCatalogDeclares checks the catalog-entry contract over every recipe:
+// valid, uniquely and consistently named, sized to the acceptance floor, and
+// mapped only to figures that exist in the exp registry.
+func TestCatalogDeclares(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalog has %d scenarios, want >= 10", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, sc := range cat {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if want := fmt.Sprintf("l%d-", int(sc.Level)); !strings.HasPrefix(sc.Name, want) {
+			t.Errorf("%s: name not prefixed with its level (%s)", sc.Name, want)
+		}
+		if sc.Level > Level3 {
+			t.Errorf("%s: catalog entries stay within levels 1-3; higher levels rescale via RunOptions", sc.Name)
+		}
+		for _, key := range sc.Figures {
+			if _, ok := exp.FigureByKey(key); !ok {
+				t.Errorf("%s: figure key %q not in the exp registry", sc.Name, key)
+			}
+		}
+	}
+}
+
+// TestCatalogCoversAllAxes checks each workload axis has at least one recipe.
+func TestCatalogCoversAllAxes(t *testing.T) {
+	for _, axis := range Axes() {
+		found := false
+		for _, sc := range Catalog() {
+			if sc.HasAxis(axis) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no scenario exercises axis %q", axis)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for l := Level1; l <= Level5; l++ {
+		if got, ok := ParseLevel(l.String()); !ok || got != l {
+			t.Errorf("ParseLevel(%q) = %v, %v", l.String(), got, ok)
+		}
+		if got, ok := ParseLevel(fmt.Sprintf("%d", int(l))); !ok || got != l {
+			t.Errorf("ParseLevel(%d) = %v, %v", int(l), got, ok)
+		}
+	}
+	if _, ok := ParseLevel("level6"); ok {
+		t.Error("ParseLevel accepted level6")
+	}
+	if _, ok := ParseLevel(""); ok {
+		t.Error("ParseLevel accepted the empty string")
+	}
+}
+
+// TestLevelScalesGrow checks run length strictly grows with level — the
+// property that makes levels a cost ordering.
+func TestLevelScalesGrow(t *testing.T) {
+	for l := Level2; l <= Level5; l++ {
+		lo, hi := (l - 1).Scale(), l.Scale()
+		if hi.MeasureCycles <= lo.MeasureCycles {
+			t.Errorf("%s measure cycles (%d) not above %s (%d)",
+				l, hi.MeasureCycles, l-1, lo.MeasureCycles)
+		}
+	}
+}
+
+func TestCatalogLookups(t *testing.T) {
+	sc, ok := ByName("l1-trace-roundtrip")
+	if !ok || sc.Name != "l1-trace-roundtrip" {
+		t.Fatalf("ByName(l1-trace-roundtrip) = %v, %v", sc.Name, ok)
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Error("ByName accepted an unknown name")
+	}
+	for _, sc := range ByLevel(Level1) {
+		if sc.Level != Level1 {
+			t.Errorf("ByLevel(1) returned %s (%s)", sc.Name, sc.Level)
+		}
+	}
+	if n1, n12 := len(ByLevel(Level1))+len(ByLevel(Level2)), len(UpToLevel(Level2)); n1 != n12 {
+		t.Errorf("UpToLevel(2) has %d entries, want %d", n12, n1)
+	}
+	if len(UpToLevel(Level5)) != len(Catalog()) {
+		t.Error("UpToLevel(5) must return the whole catalog")
+	}
+}
+
+// runCatalogLevel executes every recipe of one level with the determinism
+// gate on, failing the test on any invariant violation.
+func runCatalogLevel(t *testing.T, level Level) {
+	t.Helper()
+	for _, sc := range ByLevel(level) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := sc.Run(context.Background(), RunOptions{
+				Dir:             t.TempDir(),
+				DeterminismGate: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("invariant violations:\n%s", rep.Format())
+			}
+			if rep.Runs == 0 || !rep.DeterminismChecked {
+				t.Fatalf("report incomplete: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestRunLevel1Catalog is the CI smoke gate: every level-1 recipe runs
+// un-skipped, determinism-checked, with zero violations.
+func TestRunLevel1Catalog(t *testing.T) { runCatalogLevel(t, Level1) }
+
+func TestRunLevel2Catalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("level-2 scenarios skipped in -short mode")
+	}
+	runCatalogLevel(t, Level2)
+}
+
+func TestRunLevel3Catalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("level-3 scenarios skipped in -short mode")
+	}
+	runCatalogLevel(t, Level3)
+}
+
+// TestRunRejectsDuplicateKeys checks the runner refuses a recipe whose specs
+// collide, since positional result checking depends on distinct keys.
+func TestRunRejectsDuplicateKeys(t *testing.T) {
+	sc := Scenario{
+		Name: "l1-dup", Description: "duplicate keys", Level: Level1,
+		Axes: []Axis{AxisSharing},
+		Specs: func(e *Env) []sweep.RunSpec {
+			s := catalogSpec("same", SmokeConfig(0), e.Scale, mustByAbbr("VA"))
+			return []sweep.RunSpec{s, s}
+		},
+	}
+	if _, err := sc.Run(context.Background(), RunOptions{Dir: t.TempDir()}); err == nil {
+		t.Fatal("duplicate run keys must be rejected")
+	}
+}
+
+// TestReportFormat spot-checks the text form paperfigs prints.
+func TestReportFormat(t *testing.T) {
+	rep := Report{Name: "l1-x", Level: Level1, Runs: 2, DeterminismChecked: true}
+	out := rep.Format()
+	if !strings.Contains(out, "l1-x") || !strings.Contains(out, "ok") ||
+		!strings.Contains(out, "determinism-checked") {
+		t.Errorf("Format() = %q", out)
+	}
+	rep.Violations = []string{"boom"}
+	if out := rep.Format(); !strings.Contains(out, "FAIL") || !strings.Contains(out, "boom") {
+		t.Errorf("failing Format() = %q", out)
+	}
+}
+
+const (
+	matrixBegin = "<!-- scenario-matrix:begin -->"
+	matrixEnd   = "<!-- scenario-matrix:end -->"
+)
+
+// TestREADMEMatrixCurrent keeps the README's scenario × figure support matrix
+// identical to the generated one; -update rewrites it in place.
+func TestREADMEMatrixCurrent(t *testing.T) {
+	const readme = "../../README.md"
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	begin := strings.Index(text, matrixBegin)
+	end := strings.Index(text, matrixEnd)
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatalf("README lacks the %s / %s markers", matrixBegin, matrixEnd)
+	}
+	want := "\n" + Matrix()
+	got := text[begin+len(matrixBegin) : end]
+	if got == want {
+		return
+	}
+	if !*update {
+		t.Fatalf("README scenario matrix is stale; run `go test ./internal/scenario -run TestREADMEMatrixCurrent -update`")
+	}
+	text = text[:begin+len(matrixBegin)] + want + text[end:]
+	if err := os.WriteFile(readme, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatrixShape checks every scenario and every registry figure appears in
+// the generated matrix.
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	for _, sc := range Catalog() {
+		if !strings.Contains(m, "`"+sc.Name+"`") {
+			t.Errorf("matrix lacks scenario %s", sc.Name)
+		}
+	}
+	for _, f := range exp.Figures() {
+		if !strings.Contains(m, " "+f.Key+" |") {
+			t.Errorf("matrix lacks figure column %s", f.Key)
+		}
+	}
+}

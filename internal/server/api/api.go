@@ -302,6 +302,30 @@ type FigureResponse struct {
 	JobID        string `json:"job_id,omitempty"`
 }
 
+// ScenarioInfo is one catalog entry of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name        string   `json:"name"`
+	Level       string   `json:"level"`
+	Description string   `json:"description"`
+	Axes        []string `json:"axes"`
+	Figures     []string `json:"figures,omitempty"`
+}
+
+// ScenarioReport is the body of POST /v1/scenarios/{name}/run: the outcome
+// of one catalog scenario executed against the daemon's result store. OK is
+// false when any stat invariant was violated (Violations lists them) — the
+// HTTP status stays 200, since the scenario itself executed.
+type ScenarioReport struct {
+	Name         string   `json:"name"`
+	Level        string   `json:"level"`
+	Runs         int      `json:"runs"`
+	OK           bool     `json:"ok"`
+	Violations   []string `json:"violations,omitempty"`
+	CachedRuns   int      `json:"cached_runs"`
+	ExecutedRuns int      `json:"executed_runs"`
+	DurationMs   int64    `json:"duration_ms"`
+}
+
 // Health is the body of GET /healthz.
 type Health struct {
 	Status        string  `json:"status"`

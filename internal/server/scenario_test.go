@@ -1,0 +1,140 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/server/api"
+	"repro/internal/simstore"
+)
+
+// TestScenarioEndpoints covers the catalog listing and a store-backed
+// scenario run: the first execution simulates, a repeat is answered from the
+// content-addressed store, and both report zero invariant violations.
+func TestScenarioEndpoints(t *testing.T) {
+	store, err := simstore.Open(t.TempDir(), simstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+
+	resp, err := http.Get(hs.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []api.ScenarioInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != len(scenario.Catalog()) {
+		t.Fatalf("listing has %d scenarios, catalog has %d", len(list), len(scenario.Catalog()))
+	}
+	found := false
+	for _, info := range list {
+		if info.Name == "l1-streaming-neutral" {
+			found = true
+			if info.Level != "level1" || len(info.Axes) == 0 {
+				t.Errorf("listing entry incomplete: %+v", info)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("listing lacks l1-streaming-neutral")
+	}
+
+	if resp, err = http.Post(hs.URL+"/v1/scenarios/no-such/run", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown scenario: status %d, want 404", resp.StatusCode)
+	}
+
+	runScenario := func() api.ScenarioReport {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/scenarios/l1-streaming-neutral/run", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run: status %d", resp.StatusCode)
+		}
+		var rep api.ScenarioReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	first := runScenario()
+	if !first.OK || first.Runs != 3 {
+		t.Fatalf("first run: %+v", first)
+	}
+	if first.ExecutedRuns != 3 || first.CachedRuns != 0 {
+		t.Fatalf("first run executed=%d cached=%d, want 3/0", first.ExecutedRuns, first.CachedRuns)
+	}
+
+	second := runScenario()
+	if !second.OK {
+		t.Fatalf("repeat run: %+v", second)
+	}
+	if second.CachedRuns != 3 || second.ExecutedRuns != 0 {
+		t.Fatalf("repeat run executed=%d cached=%d, want 0/3 (store miss on identical specs)",
+			second.ExecutedRuns, second.CachedRuns)
+	}
+}
+
+// TestScenarioTraceRoundtripThroughStore runs the trace-replay recipe
+// against the store: the recording happens server-side in a scratch
+// directory, and the replay's fingerprint (which digests trace content, not
+// its path) makes a repeat run a cache hit even though the scratch path
+// differs.
+func TestScenarioTraceRoundtripThroughStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-replay scenario skipped in -short mode")
+	}
+	store, err := simstore.Open(t.TempDir(), simstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Close()
+
+	run := func() api.ScenarioReport {
+		t.Helper()
+		resp, err := http.Post(hs.URL+"/v1/scenarios/l1-trace-roundtrip/run", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep api.ScenarioReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	first := run()
+	if !first.OK || first.ExecutedRuns != 1 {
+		t.Fatalf("first run: %+v", first)
+	}
+	second := run()
+	if !second.OK || second.CachedRuns != 1 || second.ExecutedRuns != 0 {
+		t.Fatalf("repeat run: %+v, want a content-addressed cache hit", second)
+	}
+}

@@ -1,0 +1,158 @@
+// Table-driven coverage of the Player's EOF policies (loop vs. drain) at
+// exact trace-boundary positions: the op right at the end of the recorded
+// stream, one past it, and whole passes past it.
+package trace_test
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestPlayerEOFBoundaryTable drives a 3-op single-warp trace an exact number
+// of NextOp calls and checks, per policy, precisely which op each call
+// yields, when the trace rewinds (loop), and when warps park (drain). The
+// boundary property: at exactly N calls for an N-op trace, neither policy
+// has acted yet — no rewind, no park; the divergence starts at call N+1.
+func TestPlayerEOFBoundaryTable(t *testing.T) {
+	addrs := []uint64{0x1000, 0x1080, 0x1100} // one recorded load each
+	hdr := trace.Header{NumSMs: 1, MaxWarpsPerSM: 1, NumClusters: 1, LLCLineBytes: 128}
+	var events []recorded
+	for _, a := range addrs {
+		events = append(events, recorded{sm: 0, warp: 0, op: workload.Op{IsMem: true, Addr: a}})
+	}
+	path := writeTraceFile(t, hdr, events)
+	cfg := config.Config{NumSMs: 1, MaxWarpsPerSM: 1}
+
+	const park = 0 // sentinel in want: a drain no-op instead of a recorded load
+	a, b, c := addrs[0], addrs[1], addrs[2]
+	cases := []struct {
+		name      string
+		policy    trace.EOFPolicy
+		want      []uint64
+		wantLoops uint64
+		wantDrain uint64
+	}{
+		{"drain-exact-boundary", trace.EOFDrain, []uint64{a, b, c}, 0, 0},
+		{"drain-one-past", trace.EOFDrain, []uint64{a, b, c, park}, 0, 1},
+		{"drain-far-past", trace.EOFDrain, []uint64{a, b, c, park, park, park}, 0, 3},
+		{"loop-exact-boundary", trace.EOFLoop, []uint64{a, b, c}, 0, 0},
+		{"loop-one-past", trace.EOFLoop, []uint64{a, b, c, a}, 1, 0},
+		{"loop-second-pass-exact", trace.EOFLoop, []uint64{a, b, c, a, b, c}, 1, 0},
+		{"loop-second-pass-one-past", trace.EOFLoop, []uint64{a, b, c, a, b, c, a}, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := trace.NewPlayer(path, cfg, tc.policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			for i, want := range tc.want {
+				op := p.NextOp(0, 0)
+				if want == park {
+					if op.IsMem || op.ALULatency < 1<<19 {
+						t.Fatalf("call %d = %+v, want a long-latency park no-op", i+1, op)
+					}
+					continue
+				}
+				if !op.IsMem || op.Addr != want {
+					t.Fatalf("call %d = %+v, want load of %#x", i+1, op, want)
+				}
+			}
+			if p.Loops() != tc.wantLoops {
+				t.Errorf("Loops() = %d, want %d", p.Loops(), tc.wantLoops)
+			}
+			if p.DrainOps() != tc.wantDrain {
+				t.Errorf("DrainOps() = %d, want %d", p.DrainOps(), tc.wantDrain)
+			}
+			if p.Err() != nil {
+				t.Errorf("Err() = %v", p.Err())
+			}
+		})
+	}
+}
+
+// TestReplayEOFPoliciesAtCycleBoundaries replays one recording at cycle
+// counts straddling the recorded length, under both policies: at exactly the
+// recorded cycle count a drain replay reproduces the recorded statistics bit
+// for bit, and past the boundary the loop policy keeps issuing real work
+// while drain winds down.
+func TestReplayEOFPoliciesAtCycleBoundaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-GPU replay sweeps skipped in -short mode")
+	}
+	cfg := tinyConfig()
+	const (
+		measure uint64 = 2_000
+		warmup  uint64 = 500
+	)
+	spec, _ := workload.ByAbbr("VA")
+	path := filepath.Join(t.TempDir(), "boundary.trace")
+	recordedStats, err := sweep.Execute(sweep.RunSpec{
+		Key: "record", Workloads: []workload.Spec{spec}, Config: cfg,
+		Seed: 2, MeasureCycles: measure, WarmupCycles: warmup, RecordPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replay := func(cycles uint64, loop bool) []byte {
+		t.Helper()
+		stats, err := sweep.Execute(sweep.RunSpec{
+			Key: "replay", TracePath: path, TraceLoop: loop, Config: cfg,
+			MeasureCycles: cycles, WarmupCycles: warmup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	instructions := func(encoded []byte) uint64 {
+		t.Helper()
+		var s struct{ Instructions uint64 }
+		if err := json.Unmarshal(encoded, &s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Instructions
+	}
+
+	cases := []struct {
+		name         string
+		cycles       uint64
+		strictlyMore bool // loop must issue strictly more than drain
+	}{
+		{"at-recorded-cycles", measure, false},
+		{"one-cycle-past", measure + 1, false},
+		{"far-past", 3 * measure, true},
+	}
+	wantRecorded, err := json.Marshal(recordedStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			drain := replay(tc.cycles, false)
+			loop := replay(tc.cycles, true)
+			if tc.cycles == measure && string(drain) != string(wantRecorded) {
+				t.Error("drain replay at the recorded cycle count must reproduce the recorded statistics exactly")
+			}
+			di, li := instructions(drain), instructions(loop)
+			if li < di {
+				t.Errorf("loop issued %d instructions, drain %d; loop must never fall behind", li, di)
+			}
+			if tc.strictlyMore && li <= di {
+				t.Errorf("loop issued %d instructions, drain %d; past the boundary loop must keep the GPU busy", li, di)
+			}
+		})
+	}
+}
