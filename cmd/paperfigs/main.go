@@ -38,10 +38,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/exp"
 	"repro/internal/scenario"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
+	"repro/internal/simstore"
 	"repro/internal/sweep"
 )
 
@@ -63,6 +65,8 @@ func run() int {
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
 		memProfile     = flag.String("memprofile", "", "write a heap profile (after the selected figures finish) to this file")
 		serverFlag     = flag.String("server", "", "farm figure generation out to simd daemon(s) at this comma-separated base URL list (e.g. http://127.0.0.1:8404,http://127.0.0.1:8405); requests route to each run's cluster owner and fail over past dead peers; -parallel/-workers then apply server-side")
+		checkpointsOn  = flag.Bool("checkpoints", false, "resume runs from checkpointed state prefixes (shared warmups, kernel boundaries) stored under -checkpoint-dir, and bank new ones; output is byte-identical, only wall-clock time changes")
+		checkpointDir  = flag.String("checkpoint-dir", ".repro-checkpoints", "directory of the checkpoint store used by -checkpoints")
 		scenariosFlag  = flag.String("scenarios", "", "run scenario recipes instead of figures: a level (\"level1\" runs levels up to 1), \"all\", or comma-separated names; always determinism-gated, exit 1 on any invariant violation")
 		listScenarios  = flag.Bool("list-scenarios", false, "list the scenario catalog (name, level, axes, figures) and exit")
 		scenarioMatrix = flag.Bool("scenario-matrix", false, "print the generated scenario × figure support matrix and exit")
@@ -169,6 +173,23 @@ func run() int {
 		return runScenarios(*scenariosFlag, workers, *cyclesFlag, *warmupFlag, *seedFlag, showProgress)
 	}
 
+	// Checkpointing accelerates the local executor; with -server the daemon
+	// owns execution (and its own checkpoint store).
+	var ckptMgr *checkpoint.Manager
+	if *checkpointsOn {
+		if *serverFlag != "" {
+			fmt.Fprintln(os.Stderr, "paperfigs: -checkpoints applies to local execution; the simd daemon manages its own checkpoint store")
+			return 1
+		}
+		store, err := simstore.Open(*checkpointDir, simstore.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -checkpoints: %v\n", err)
+			return 1
+		}
+		ckptMgr = checkpoint.NewManager(store)
+		opt.Checkpointer = ckptMgr
+	}
+
 	selected := []string{*figureFlag}
 	if *figureFlag == "all" {
 		selected = nil
@@ -270,6 +291,11 @@ func run() int {
 		mode = fmt.Sprintf("%d workers", workers)
 	}
 	fmt.Printf("[total: %.1fs, %s]\n", time.Since(totalStart).Seconds(), mode)
+	if ckptMgr != nil {
+		cs := ckptMgr.ManagerStats()
+		fmt.Printf("[checkpoints: %d runs resumed, %d snapshots saved, %.1f MiB written]\n",
+			cs.Hits, cs.Saves, float64(cs.Bytes)/(1<<20))
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d requested figures failed\n", failed, len(selected))
 		return 1

@@ -55,7 +55,9 @@ func run() int {
 		addrFlag    = flag.String("addr", "127.0.0.1:8404", "listen address (host:port; port 0 picks a free port)")
 		storeFlag   = flag.String("store", "simstore", "result store directory (created if missing)")
 		workersFlag = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		maxFlag     = flag.Int("max-entries", 0, "LRU bound on stored results (0 = unbounded)")
+		maxFlag     = flag.Int("max-entries", 0, "LRU bound on stored results and checkpoint blobs together (0 = unbounded)")
+		maxBytes    = flag.Int64("max-store-bytes", 0, "LRU bound on total store bytes, results plus checkpoint blobs (0 = unbounded)")
+		ckptFlag    = flag.Bool("checkpoints", false, "bank GPU state snapshots (warmup end, kernel boundaries) in the store and resume runs from matching prefixes; statistics stay byte-identical, only wall-clock time changes")
 		jobTTLFlag  = flag.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable in memory (0 = forever; results persist in the store regardless)")
 		maxJobsFlag = flag.Int("max-jobs", server.DefaultMaxJobs, "max finished jobs retained in memory (0 = unbounded)")
 		peersFlag   = flag.String("peers", "", "comma-separated base URLs of every cluster member, this daemon included (enables fingerprint-sharded routing)")
@@ -63,7 +65,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	store, err := simstore.Open(*storeFlag, simstore.Options{MaxEntries: *maxFlag})
+	store, err := simstore.Open(*storeFlag, simstore.Options{MaxEntries: *maxFlag, MaxBytes: *maxBytes})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
 		return 1
@@ -83,12 +85,13 @@ func run() int {
 	peers := cluster.ParsePeers(*peersFlag)
 
 	srv, err := server.New(server.Config{
-		Store:   store,
-		Workers: *workersFlag,
-		JobTTL:  *jobTTLFlag,
-		MaxJobs: *maxJobsFlag,
-		Self:    self,
-		Peers:   peers,
+		Store:       store,
+		Workers:     *workersFlag,
+		JobTTL:      *jobTTLFlag,
+		MaxJobs:     *maxJobsFlag,
+		Checkpoints: *ckptFlag,
+		Self:        self,
+		Peers:       peers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)

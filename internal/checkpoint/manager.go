@@ -1,0 +1,171 @@
+package checkpoint
+
+import (
+	"io"
+	"sync/atomic"
+
+	"repro/internal/gpu"
+	"repro/internal/simstore"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// Manager stores checkpoints content-addressed in a simstore.Store and
+// implements sweep.Checkpointer on top: Resume probes the stored prefixes of
+// a spec from the furthest kernel boundary back to the warmup end, Checkpoint
+// banks newly passed boundaries. All failures short of "the trace file named
+// by the spec is unreadable" degrade to cold execution — checkpointing is an
+// accelerator, never a correctness dependency — and corrupt blobs are dropped
+// from the store so the next run rewrites them.
+//
+// A Manager is safe for concurrent use by the sweep worker pool.
+type Manager struct {
+	store *simstore.Store
+
+	hits   atomic.Uint64
+	saves  atomic.Uint64
+	bytes  atomic.Uint64
+	errors atomic.Uint64
+}
+
+var _ sweep.Checkpointer = (*Manager)(nil)
+
+// NewManager wraps a store with checkpoint semantics.
+func NewManager(store *simstore.Store) *Manager {
+	return &Manager{store: store}
+}
+
+// Stats reports the manager's counters: resumed runs, stored snapshots, blob
+// bytes written, and swallowed errors.
+type Stats struct {
+	Hits   uint64
+	Saves  uint64
+	Bytes  uint64
+	Errors uint64
+}
+
+// ManagerStats returns a snapshot of the counters.
+func (m *Manager) ManagerStats() Stats {
+	return Stats{
+		Hits:   m.hits.Load(),
+		Saves:  m.saves.Load(),
+		Bytes:  m.bytes.Load(),
+		Errors: m.errors.Load(),
+	}
+}
+
+// candidate is one stored prefix a run could resume from.
+type candidate struct {
+	key      [32]byte
+	atKernel int
+}
+
+// candidates lists the prefixes of spec, furthest first.
+func (m *Manager) candidates(spec sweep.RunSpec) ([]candidate, error) {
+	var cands []candidate
+	// Kernel boundaries exist only when the kernel count is knowable from
+	// the spec alone (trace replays may defer it to the trace header; those
+	// runs still share warmup prefixes).
+	if kernels := spec.Canonical().Kernels; kernels > 1 {
+		for k := kernels - 1; k >= 1; k-- {
+			key, err := KernelKey(spec, k)
+			if err != nil {
+				return nil, err
+			}
+			cands = append(cands, candidate{key: key, atKernel: k})
+		}
+	}
+	if spec.WarmupCycles > 0 {
+		key, err := WarmupKey(spec)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, candidate{key: key})
+	}
+	return cands, nil
+}
+
+// Resume implements sweep.Checkpointer.
+func (m *Manager) Resume(spec sweep.RunSpec, newProg func() (workload.Program, error)) (*gpu.GPU, workload.Program, int, bool) {
+	cands, err := m.candidates(spec)
+	if err != nil {
+		// The spec's trace file is unreadable; the cold path will surface
+		// the same error to the caller.
+		m.errors.Add(1)
+		return nil, nil, 0, false
+	}
+	for _, c := range cands {
+		data, ok := m.store.GetBlob(c.key)
+		if !ok {
+			continue
+		}
+		snap, err := Decode(data)
+		if err != nil {
+			// Corrupt or truncated blob: self-heal and keep probing shorter
+			// prefixes.
+			m.store.DropBlob(c.key)
+			m.errors.Add(1)
+			continue
+		}
+		prog, err := newProg()
+		if err != nil {
+			m.errors.Add(1)
+			return nil, nil, 0, false
+		}
+		g, err := Restore(spec.Config, prog, snap)
+		if err != nil {
+			// A decodable snapshot that does not fit the freshly built run
+			// (stale geometry under a key collision, a partially restored
+			// program) is as corrupt as an unparsable one.
+			if closer, ok := prog.(io.Closer); ok {
+				closer.Close()
+			}
+			m.store.DropBlob(c.key)
+			m.errors.Add(1)
+			continue
+		}
+		m.hits.Add(1)
+		return g, prog, c.atKernel, true
+	}
+	return nil, nil, 0, false
+}
+
+// Checkpoint implements sweep.Checkpointer.
+func (m *Manager) Checkpoint(spec sweep.RunSpec, g *gpu.GPU, atKernel int) {
+	var (
+		key [32]byte
+		err error
+	)
+	if atKernel == 0 {
+		key, err = WarmupKey(spec)
+	} else {
+		key, err = KernelKey(spec, atKernel)
+	}
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	// Deterministic execution means an existing blob under this key is
+	// byte-equivalent state; skip the save (and its gob+gzip cost).
+	if m.store.HasBlob(key) {
+		return
+	}
+	snap, err := Save(g)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	snap.Header.Key = spec.Key
+	snap.Header.AtKernel = atKernel
+	data, err := Encode(snap)
+	if err != nil {
+		m.errors.Add(1)
+		return
+	}
+	if err := m.store.PutBlob(key, data); err != nil {
+		m.errors.Add(1)
+		return
+	}
+	m.saves.Add(1)
+	m.bytes.Add(uint64(len(data)))
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+)
+
+// State is a complete snapshot of the adaptive controller: its mandated
+// mode, the ATD contents, the LSP profiling counters, the window/epoch
+// clocks and the accumulated statistics.
+type State struct {
+	Mode           config.LLCMode
+	ATD            cache.ATDState
+	PrivPerMC      []uint64
+	SharedPerSlice []uint64
+	SubWindowEnd   uint64
+	SharedLSPSum   float64
+	PrivateLSPSum  float64
+	LSPWindows     uint64
+	Profiling      bool
+	WindowStart    uint64
+	EpochStart     uint64
+	LastPred       Prediction
+	Stats          Stats
+	Cycle          uint64
+}
+
+// SaveState captures the controller's mutable state.
+func (c *Controller) SaveState() State {
+	return State{
+		Mode:           c.mode,
+		ATD:            c.atd.SaveState(),
+		PrivPerMC:      append([]uint64(nil), c.privPerMC...),
+		SharedPerSlice: append([]uint64(nil), c.sharedPerSlice...),
+		SubWindowEnd:   c.subWindowEnd,
+		SharedLSPSum:   c.sharedLSPSum,
+		PrivateLSPSum:  c.privateLSPSum,
+		LSPWindows:     c.lspWindows,
+		Profiling:      c.profiling,
+		WindowStart:    c.windowStart,
+		EpochStart:     c.epochStart,
+		LastPred:       c.lastPred,
+		Stats:          c.stats,
+		Cycle:          c.cycle,
+	}
+}
+
+// RestoreState overwrites the controller's mutable state with a snapshot
+// taken from a controller built under the same configuration. The statistics
+// are written last: NewController's initial startProfile already counted a
+// profile window that the snapshot supersedes.
+func (c *Controller) RestoreState(st State) error {
+	if len(st.PrivPerMC) != len(c.privPerMC) {
+		return fmt.Errorf("core: snapshot has %d MC counters, controller has %d", len(st.PrivPerMC), len(c.privPerMC))
+	}
+	if len(st.SharedPerSlice) != len(c.sharedPerSlice) {
+		return fmt.Errorf("core: snapshot has %d slice counters, controller has %d", len(st.SharedPerSlice), len(c.sharedPerSlice))
+	}
+	if err := c.atd.RestoreState(st.ATD); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	c.mode = st.Mode
+	copy(c.privPerMC, st.PrivPerMC)
+	copy(c.sharedPerSlice, st.SharedPerSlice)
+	c.subWindowEnd = st.SubWindowEnd
+	c.sharedLSPSum = st.SharedLSPSum
+	c.privateLSPSum = st.PrivateLSPSum
+	c.lspWindows = st.LSPWindows
+	c.profiling = st.Profiling
+	c.windowStart = st.WindowStart
+	c.epochStart = st.EpochStart
+	c.lastPred = st.LastPred
+	c.stats = st.Stats
+	c.cycle = st.Cycle
+	return nil
+}

@@ -1,0 +1,99 @@
+package dram
+
+import "fmt"
+
+// BankState mirrors one bank's timing state machine for serialization.
+type BankState struct {
+	OpenRow      int64
+	ReadyAt      uint64
+	ActAllowed   uint64
+	PreAllowed   uint64
+	LastActivate uint64
+}
+
+// QueuedState mirrors one queued (possibly issued) request.
+type QueuedState struct {
+	Req       Request
+	Issued    bool
+	Conflict  bool
+	Activated bool
+	DoneAt    uint64
+}
+
+// State is a complete snapshot of a Controller. The controller keeps its own
+// cycle clock (Enqueue stamps arrivals with it), so it must round-trip
+// exactly.
+type State struct {
+	Banks        []BankState
+	Queue        []QueuedState
+	BusFreeAt    uint64
+	LastActCycle uint64
+	Stats        Stats
+	Cycle        uint64
+}
+
+// SaveState captures the controller's mutable state.
+func (c *Controller) SaveState() State {
+	st := State{
+		Banks:        make([]BankState, len(c.banks)),
+		Queue:        make([]QueuedState, len(c.queue)),
+		BusFreeAt:    c.busFreeAt,
+		LastActCycle: c.lastActCycle,
+		Stats:        c.stats,
+		Cycle:        c.cycle,
+	}
+	for i, b := range c.banks {
+		st.Banks[i] = BankState{
+			OpenRow:      b.openRow,
+			ReadyAt:      b.readyAt,
+			ActAllowed:   b.actAllowed,
+			PreAllowed:   b.preAllowed,
+			LastActivate: b.lastActivate,
+		}
+	}
+	for i, q := range c.queue {
+		st.Queue[i] = QueuedState{
+			Req:       q.req,
+			Issued:    q.issued,
+			Conflict:  q.conflict,
+			Activated: q.activated,
+			DoneAt:    q.doneAt,
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the controller's mutable state with a snapshot
+// taken from a controller built under the same configuration.
+func (c *Controller) RestoreState(st State) error {
+	if len(st.Banks) != len(c.banks) {
+		return fmt.Errorf("dram %d: snapshot has %d banks, controller has %d", c.id, len(st.Banks), len(c.banks))
+	}
+	if len(st.Queue) > c.queueCap {
+		return fmt.Errorf("dram %d: snapshot queue %d exceeds capacity %d", c.id, len(st.Queue), c.queueCap)
+	}
+	for i, b := range st.Banks {
+		c.banks[i] = bankState{
+			openRow:      b.OpenRow,
+			readyAt:      b.ReadyAt,
+			actAllowed:   b.ActAllowed,
+			preAllowed:   b.PreAllowed,
+			lastActivate: b.LastActivate,
+		}
+	}
+	c.queue = c.queue[:0]
+	for _, q := range st.Queue {
+		c.queue = append(c.queue, queued{
+			req:       q.Req,
+			issued:    q.Issued,
+			conflict:  q.Conflict,
+			activated: q.Activated,
+			doneAt:    q.DoneAt,
+		})
+	}
+	c.busFreeAt = st.BusFreeAt
+	c.lastActCycle = st.LastActCycle
+	c.stats = st.Stats
+	c.cycle = st.Cycle
+	return nil
+}

@@ -64,6 +64,14 @@ type Options struct {
 	// identical specs); Workers and Progress are ignored when Exec is set —
 	// the executor owns its own parallelism and progress delivery.
 	Exec sweep.Executor
+
+	// Checkpointer, when non-nil (and Exec is unset), opts every declared
+	// run into checkpoint-assisted execution: runs resume from stored state
+	// prefixes (shared warmups, kernel boundaries) and bank new ones. The
+	// statistics are byte-identical to cold execution, so figures are
+	// unaffected; only wall-clock time changes. cmd/paperfigs wires this to
+	// a directory store via -checkpoints.
+	Checkpointer sweep.Checkpointer
 }
 
 // DefaultOptions returns the scale used by the committed experiment results.
@@ -124,7 +132,13 @@ func modeKey(abbr string, mode config.LLCMode) string {
 func (o Options) runAll(specs []sweep.RunSpec) (map[string]gpu.RunStats, error) {
 	exec := o.Exec
 	if exec == nil {
-		exec = &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress}
+		if o.Checkpointer != nil {
+			specs = append([]sweep.RunSpec(nil), specs...)
+			for i := range specs {
+				specs[i].Checkpoint = true
+			}
+		}
+		exec = &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress, Checkpointer: o.Checkpointer}
 	}
 	results, err := exec.Run(context.Background(), specs)
 	if err != nil {

@@ -64,6 +64,10 @@ type GPU struct {
 	numApps  int
 
 	cycle uint64
+	// runStart is the cycle at which the current (or most recent) run loop
+	// was entered; kernel boundaries fall at runStart + m*kernelLen. It is
+	// checkpointed so a resumed run recomputes the same boundary schedule.
+	runStart uint64
 
 	// Reconfiguration state machine.
 	reconfigActive  bool

@@ -96,8 +96,39 @@ func (g *GPU) Run(cycles uint64, kernels int) RunStats {
 	return g.collect(cycles)
 }
 
-// runLoop advances the simulation by `cycles` cycles.
-func (g *GPU) runLoop(cycles uint64, kernels int) {
+// RunCheckpointed is Run with a kernel-boundary hook: onBoundary(m) is
+// invoked at the end of the cycle in which the m-th boundary (1-based) fires,
+// after the boundary's own controller and sharing-window work, so a snapshot
+// taken inside the hook captures exactly the state a cold run has at that
+// point. A nil hook makes it identical to Run.
+func (g *GPU) RunCheckpointed(cycles uint64, kernels int, onBoundary func(m int)) RunStats {
+	kernelLen := kernelLenFor(cycles, kernels)
+	g.runStart = g.cycle
+	g.sharerWindowEnd = g.cycle + sharingWindowCycles
+	g.loopUntil(g.cycle+cycles, kernelLen, g.cycle+kernelLen, onBoundary)
+	return g.collect(cycles)
+}
+
+// ResumeRun continues a run restored from a mid-run checkpoint until the run
+// that was interrupted would have ended. totalCycles and kernels are the
+// original Run arguments (not the remainder): the end cycle and kernel
+// schedule are recomputed from the restored runStart, and the sharing-window
+// clock is left exactly where the snapshot put it, so the resumed half
+// replays the cold run cycle-for-cycle. The returned stats cover the full
+// measurement window, identical to what the uninterrupted Run returns.
+func (g *GPU) ResumeRun(totalCycles uint64, kernels int, onBoundary func(m int)) RunStats {
+	kernelLen := kernelLenFor(totalCycles, kernels)
+	end := g.runStart + totalCycles
+	nextKernel := end
+	if kernelLen > 0 {
+		nextKernel = g.runStart + kernelLen*((g.cycle-g.runStart)/kernelLen+1)
+	}
+	g.loopUntil(end, kernelLen, nextKernel, onBoundary)
+	return g.collect(totalCycles)
+}
+
+// kernelLenFor splits a cycle budget evenly into kernel invocations.
+func kernelLenFor(cycles uint64, kernels int) uint64 {
 	if kernels < 1 {
 		kernels = 1
 	}
@@ -105,10 +136,20 @@ func (g *GPU) runLoop(cycles uint64, kernels int) {
 	if kernelLen == 0 {
 		kernelLen = cycles
 	}
-	nextKernel := g.cycle + kernelLen
-	end := g.cycle + cycles
-	g.sharerWindowEnd = g.cycle + sharingWindowCycles
+	return kernelLen
+}
 
+// runLoop advances the simulation by `cycles` cycles.
+func (g *GPU) runLoop(cycles uint64, kernels int) {
+	kernelLen := kernelLenFor(cycles, kernels)
+	g.runStart = g.cycle
+	g.sharerWindowEnd = g.cycle + sharingWindowCycles
+	g.loopUntil(g.cycle+cycles, kernelLen, g.cycle+kernelLen, nil)
+}
+
+// loopUntil advances the simulation until `end`, firing kernel boundaries on
+// the schedule given by kernelLen/nextKernel (relative to g.runStart).
+func (g *GPU) loopUntil(end, kernelLen, nextKernel uint64, onBoundary func(m int)) {
 	for g.cycle < end {
 		g.cycle++
 		g.modeCycles[g.mode]++
@@ -117,8 +158,10 @@ func (g *GPU) runLoop(cycles uint64, kernels int) {
 		}
 
 		// Kernel boundary.
+		boundary := 0
 		if g.cycle >= nextKernel && g.cycle < end {
 			nextKernel += kernelLen
+			boundary = int((g.cycle - g.runStart) / kernelLen)
 			g.kernelBoundaries = append(g.kernelBoundaries, g.cycle)
 			g.prog.NextKernel()
 			if g.ctrl != nil {
@@ -146,6 +189,10 @@ func (g *GPU) runLoop(cycles uint64, kernels int) {
 		if g.cycle >= g.sharerWindowEnd {
 			g.collectSharing()
 			g.sharerWindowEnd = g.cycle + sharingWindowCycles
+		}
+
+		if boundary > 0 && onBoundary != nil {
+			onBoundary(boundary)
 		}
 	}
 }

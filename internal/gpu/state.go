@@ -1,0 +1,212 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/noc"
+	"repro/internal/sm"
+	"repro/internal/workload"
+)
+
+// State is a complete snapshot of a GPU mid-simulation: every component's
+// architectural and statistical state plus the top-level mode machinery and
+// collectors. Restoring it onto a freshly constructed GPU built from the same
+// configuration and workload inputs reproduces the remainder of the run
+// cycle-for-cycle, so an interrupted and a resumed run yield byte-identical
+// statistics.
+//
+// The snapshot holds only exported value types (no pointers except the
+// implicit ones inside slices), so it gob-encodes cleanly.
+type State struct {
+	Cycle    uint64
+	RunStart uint64
+
+	Mode     config.LLCMode
+	AppModes []config.LLCMode
+
+	// Reconfiguration state machine.
+	ReconfigActive     bool
+	ReconfigTarget     config.LLCMode
+	ReconfigReason     core.Reason
+	ReconfigStarted    uint64
+	StallUntil         uint64
+	HasPendingDecision bool
+	PendingDecision    core.Decision
+
+	// Collectors.
+	GatedCycles      uint64
+	StallCycles      uint64
+	ReconfigCount    uint64
+	SharerBuckets    [4]uint64
+	SharerTotal      uint64
+	SharerWindowEnd  uint64
+	KernelBoundaries []uint64
+	ModeCycles       [3]uint64
+
+	// Components.
+	SMs     []sm.State
+	Slices  []llc.SliceState
+	MCs     []dram.State
+	ReqNet  noc.NetState
+	RepNet  noc.NetState
+	HasCtrl bool
+	Ctrl    core.State
+	Prog    workload.ProgramState
+}
+
+// SaveState captures the GPU's complete mutable state. It fails if the
+// workload program does not support checkpointing.
+func (g *GPU) SaveState() (State, error) {
+	cp, ok := g.prog.(workload.Checkpointable)
+	if !ok {
+		return State{}, fmt.Errorf("gpu: program %T is not checkpointable", g.prog)
+	}
+	progState, err := cp.SaveProgState()
+	if err != nil {
+		return State{}, fmt.Errorf("gpu: %w", err)
+	}
+
+	st := State{
+		Cycle:            g.cycle,
+		RunStart:         g.runStart,
+		Mode:             g.mode,
+		AppModes:         append([]config.LLCMode(nil), g.appModes...),
+		ReconfigActive:   g.reconfigActive,
+		ReconfigTarget:   g.reconfigTarget,
+		ReconfigReason:   g.reconfigReason,
+		ReconfigStarted:  g.reconfigStarted,
+		StallUntil:       g.stallUntil,
+		GatedCycles:      g.gatedCycles,
+		StallCycles:      g.stallCycles,
+		ReconfigCount:    g.reconfigCount,
+		SharerBuckets:    g.sharerBuckets,
+		SharerTotal:      g.sharerTotal,
+		SharerWindowEnd:  g.sharerWindowEnd,
+		KernelBoundaries: append([]uint64(nil), g.kernelBoundaries...),
+		ModeCycles:       g.modeCycles,
+		Prog:             progState,
+	}
+	if g.pendingDecision != nil {
+		st.HasPendingDecision = true
+		st.PendingDecision = *g.pendingDecision
+	}
+
+	st.SMs = make([]sm.State, len(g.sms))
+	for i, s := range g.sms {
+		st.SMs[i] = s.SaveState()
+	}
+	st.Slices = make([]llc.SliceState, len(g.slices))
+	for i, s := range g.slices {
+		st.Slices[i] = s.SaveState()
+	}
+	st.MCs = make([]dram.State, len(g.mcs))
+	for i, mc := range g.mcs {
+		st.MCs[i] = mc.SaveState()
+	}
+	if st.ReqNet, err = noc.SaveState(g.reqNet); err != nil {
+		return State{}, fmt.Errorf("gpu: request net: %w", err)
+	}
+	if st.RepNet, err = noc.SaveState(g.repNet); err != nil {
+		return State{}, fmt.Errorf("gpu: reply net: %w", err)
+	}
+	if g.ctrl != nil {
+		st.HasCtrl = true
+		st.Ctrl = g.ctrl.SaveState()
+	}
+	return st, nil
+}
+
+// RestoreState overwrites the GPU's mutable state with a snapshot taken from
+// a GPU built under the same configuration and workload inputs. Mode-derived
+// physical state (slice write policies, NoC bypass) comes back through the
+// component snapshots, so no SetAppModes/applyMode side effects are replayed.
+func (g *GPU) RestoreState(st State) error {
+	if len(st.SMs) != len(g.sms) {
+		return fmt.Errorf("gpu: snapshot has %d SMs, GPU has %d", len(st.SMs), len(g.sms))
+	}
+	if len(st.Slices) != len(g.slices) {
+		return fmt.Errorf("gpu: snapshot has %d LLC slices, GPU has %d", len(st.Slices), len(g.slices))
+	}
+	if len(st.MCs) != len(g.mcs) {
+		return fmt.Errorf("gpu: snapshot has %d memory controllers, GPU has %d", len(st.MCs), len(g.mcs))
+	}
+	if st.HasCtrl != (g.ctrl != nil) {
+		return fmt.Errorf("gpu: snapshot controller presence (%v) does not match configuration (%v)", st.HasCtrl, g.ctrl != nil)
+	}
+	cp, ok := g.prog.(workload.Checkpointable)
+	if !ok {
+		return fmt.Errorf("gpu: program %T is not checkpointable", g.prog)
+	}
+	if err := cp.RestoreProgState(st.Prog); err != nil {
+		return fmt.Errorf("gpu: %w", err)
+	}
+
+	for i, s := range g.sms {
+		if err := s.RestoreState(st.SMs[i]); err != nil {
+			return fmt.Errorf("gpu: %w", err)
+		}
+	}
+	for i, s := range g.slices {
+		if err := s.RestoreState(st.Slices[i]); err != nil {
+			return fmt.Errorf("gpu: %w", err)
+		}
+	}
+	for i, mc := range g.mcs {
+		if err := mc.RestoreState(st.MCs[i]); err != nil {
+			return fmt.Errorf("gpu: %w", err)
+		}
+	}
+	if err := noc.RestoreState(g.reqNet, st.ReqNet); err != nil {
+		return fmt.Errorf("gpu: request net: %w", err)
+	}
+	if err := noc.RestoreState(g.repNet, st.RepNet); err != nil {
+		return fmt.Errorf("gpu: reply net: %w", err)
+	}
+	if g.ctrl != nil {
+		if err := g.ctrl.RestoreState(st.Ctrl); err != nil {
+			return fmt.Errorf("gpu: %w", err)
+		}
+	}
+
+	g.cycle = st.Cycle
+	g.runStart = st.RunStart
+	g.mode = st.Mode
+	g.appModes = append([]config.LLCMode(nil), st.AppModes...)
+	g.reconfigActive = st.ReconfigActive
+	g.reconfigTarget = st.ReconfigTarget
+	g.reconfigReason = st.ReconfigReason
+	g.reconfigStarted = st.ReconfigStarted
+	g.stallUntil = st.StallUntil
+	g.pendingDecision = nil
+	if st.HasPendingDecision {
+		d := st.PendingDecision
+		g.pendingDecision = &d
+	}
+	g.gatedCycles = st.GatedCycles
+	g.stallCycles = st.StallCycles
+	g.reconfigCount = st.ReconfigCount
+	g.sharerBuckets = st.SharerBuckets
+	g.sharerTotal = st.SharerTotal
+	g.sharerWindowEnd = st.SharerWindowEnd
+	g.kernelBoundaries = append([]uint64(nil), st.KernelBoundaries...)
+	g.modeCycles = st.ModeCycles
+	return nil
+}
+
+// Restore builds a GPU from cfg and prog (which must be freshly constructed
+// from the same inputs as the checkpointed run) and overwrites its state with
+// the snapshot.
+func Restore(cfg config.Config, prog workload.Program, st State) (*GPU, error) {
+	g, err := New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.RestoreState(st); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -2,8 +2,11 @@ package scenario
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
+	"repro/internal/simstore"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -11,7 +14,7 @@ import (
 // CatalogVersion names the current recipe set. Bump it when a scenario is
 // added, removed, or changes the runs it declares, so downstream consumers
 // (CI baselines, the README matrix) can tell recipe drift from code drift.
-const CatalogVersion = 1
+const CatalogVersion = 2
 
 // catalogSpec builds the declarative sweep unit shared by every recipe.
 func catalogSpec(key string, cfg config.Config, scale Scale, specs ...workload.Spec) sweep.RunSpec {
@@ -219,6 +222,7 @@ func Catalog() []Scenario {
 		// ----------------------------------------------------------------
 		// Level 2 — ladders and mode sweeps: full test suite.
 		// ----------------------------------------------------------------
+		checkpointResumeScenario(),
 		{
 			Name:        "l2-divergence-jitter",
 			Description: "lockstep tightness ladder: frontier jitter 0/4/16 lines under a private LLC",
@@ -431,6 +435,96 @@ func Catalog() []Scenario {
 			Check: func(e *Env, results []sweep.Result) []string {
 				return requireActivity(results)
 			},
+		},
+	}
+}
+
+// checkpointResumeScenario gates the internal/checkpoint subsystem: the
+// declared runs execute cold through the scenario's executor, then the Check
+// hook re-executes them checkpoint-assisted against a scratch store — once to
+// bank every prefix, once resuming from them — and finally stretches the
+// measurement window so only the warmup prefix still matches. Every variant
+// must reproduce the cold statistics byte for byte, and the resumed passes
+// must actually hit the store.
+func checkpointResumeScenario() Scenario {
+	declare := func(e *Env) []sweep.RunSpec {
+		w := mustByAbbr("GEMM")
+		shared := catalogSpec("gemm/shared", SmokeConfig(config.LLCShared), e.Scale, w)
+		adaptive := catalogSpec("gemm/adaptive", SmokeConfig(config.LLCAdaptive), e.Scale, w)
+		// Multiple kernels give the resume path interior boundaries to bank,
+		// not just the warmup snapshot.
+		shared.Kernels = 3
+		adaptive.Kernels = 3
+		return []sweep.RunSpec{shared, adaptive}
+	}
+	return Scenario{
+		Name:        "l2-checkpoint-resume",
+		Description: "checkpoint-assisted re-execution resumes from banked prefixes with byte-identical statistics",
+		Level:       Level2,
+		Axes:        []Axis{AxisSharing, AxisLocality},
+		Figures:     []string{"11"},
+		Specs:       declare,
+		Check: func(e *Env, results []sweep.Result) []string {
+			v := requireActivity(results)
+			store, err := simstore.Open(filepath.Join(e.Dir, "ckpt-store"), simstore.Options{})
+			if err != nil {
+				return append(v, fmt.Sprintf("checkpoint store: %v", err))
+			}
+			mgr := checkpoint.NewManager(store)
+			for i, spec := range declare(e) {
+				spec.Checkpoint = true
+				cold := results[i].Stats
+
+				// First checkpointed pass: cold execution that banks the
+				// warmup and kernel-boundary snapshots.
+				first, err := sweep.ExecuteWith(spec, mgr)
+				if err != nil {
+					v = append(v, fmt.Sprintf("run %q: checkpointed execution: %v", spec.Key, err))
+					continue
+				}
+				if !statsEqual(cold, first) {
+					v = append(v, fmt.Sprintf("run %q: checkpoint-banking run differs from cold statistics", spec.Key))
+				}
+
+				// Second pass: must resume from the furthest banked boundary
+				// and still reproduce the cold statistics exactly.
+				before := mgr.ManagerStats().Hits
+				second, err := sweep.ExecuteWith(spec, mgr)
+				if err != nil {
+					v = append(v, fmt.Sprintf("run %q: resumed execution: %v", spec.Key, err))
+					continue
+				}
+				if !statsEqual(cold, second) {
+					v = append(v, fmt.Sprintf("run %q: resumed run differs from cold statistics", spec.Key))
+				}
+				if mgr.ManagerStats().Hits == before {
+					v = append(v, fmt.Sprintf("run %q: second execution did not resume from a checkpoint", spec.Key))
+				}
+
+				// Stretched measurement window: the kernel-boundary keys no
+				// longer match, but the warmup prefix still does.
+				longer := spec
+				longer.Key = spec.Key + "/stretched"
+				longer.MeasureCycles += e.Scale.MeasureCycles / 2
+				longerCold, err := sweep.Execute(longer)
+				if err != nil {
+					v = append(v, fmt.Sprintf("run %q: cold execution: %v", longer.Key, err))
+					continue
+				}
+				before = mgr.ManagerStats().Hits
+				longerWarm, err := sweep.ExecuteWith(longer, mgr)
+				if err != nil {
+					v = append(v, fmt.Sprintf("run %q: warmup-resumed execution: %v", longer.Key, err))
+					continue
+				}
+				if !statsEqual(longerCold, longerWarm) {
+					v = append(v, fmt.Sprintf("run %q: warmup-resumed run differs from cold statistics", longer.Key))
+				}
+				if mgr.ManagerStats().Hits == before {
+					v = append(v, fmt.Sprintf("run %q: stretched run did not resume from the shared warmup prefix", longer.Key))
+				}
+			}
+			return v
 		},
 	}
 }

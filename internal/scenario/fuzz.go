@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/simstore"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -33,6 +35,12 @@ type FuzzCase struct {
 	// workload.NewMultiProgramMixed (implies a recording; only meaningful
 	// with TraceRoundTrip).
 	MixedTrace bool
+	// CheckpointResume additionally executes the run checkpoint-assisted
+	// against a scratch store — once banking its warmup/kernel-boundary
+	// snapshots, once resuming from them — requiring both passes to reproduce
+	// the plain run's statistics byte for byte (save→restore mid-run is part
+	// of the simulator's determinism contract).
+	CheckpointResume bool
 }
 
 // Fuzz run length: long enough to fill caches past warmup reset, short
@@ -134,6 +142,9 @@ func CaseFromBytes(data []byte) FuzzCase {
 	}
 	c.TraceRoundTrip = r.pick(2) == 1
 	c.MixedTrace = c.TraceRoundTrip && r.pick(2) == 1
+	// Decoded last so the committed corpus keeps its meaning: older entries
+	// exhaust their bytes before this read and decode to false.
+	c.CheckpointResume = r.pick(2) == 1
 	return c
 }
 
@@ -182,6 +193,10 @@ func (c FuzzCase) Check(dir string) []string {
 	v = append(v, Invariants(spec, first)...)
 	v = append(v, fingerprintViolations(spec)...)
 
+	if c.CheckpointResume {
+		v = append(v, checkCheckpointResume(dir, spec, first)...)
+	}
+
 	if !c.TraceRoundTrip {
 		return v
 	}
@@ -213,6 +228,46 @@ func (c FuzzCase) Check(dir string) []string {
 
 	if c.MixedTrace {
 		v = append(v, c.checkMixed(path)...)
+	}
+	return v
+}
+
+// checkCheckpointResume executes spec checkpoint-assisted against a scratch
+// store under dir: the first pass runs cold and banks the warmup and
+// kernel-boundary snapshots, the second resumes from the furthest banked
+// prefix. Both must reproduce the plain run's statistics exactly, the second
+// must actually hit the store, and the manager must swallow no errors.
+func checkCheckpointResume(dir string, spec sweep.RunSpec, plain gpu.RunStats) []string {
+	var v []string
+	store, err := simstore.Open(filepath.Join(dir, "ckpt-store"), simstore.Options{})
+	if err != nil {
+		return []string{fmt.Sprintf("checkpoint store: %v", err)}
+	}
+	mgr := checkpoint.NewManager(store)
+	spec.Checkpoint = true
+	banking, err := sweep.ExecuteWith(spec, mgr)
+	if err != nil {
+		return []string{fmt.Sprintf("checkpoint-banking run failed: %v", err)}
+	}
+	if !statsEqual(plain, banking) {
+		v = append(v, "checkpointing is not transparent: banking run differs from plain run")
+	}
+	resumed, err := sweep.ExecuteWith(spec, mgr)
+	if err != nil {
+		return append(v, fmt.Sprintf("checkpoint-resumed run failed: %v", err))
+	}
+	if !statsEqual(plain, resumed) {
+		v = append(v, "checkpoint resume broken: resumed statistics differ from the plain run")
+	}
+	ms := mgr.ManagerStats()
+	if ms.Hits == 0 {
+		v = append(v, "checkpoint resume dead: second execution never restored a snapshot")
+	}
+	if ms.Saves == 0 || ms.Bytes == 0 {
+		v = append(v, "checkpoint banking dead: first execution stored no snapshots")
+	}
+	if ms.Errors > 0 {
+		v = append(v, fmt.Sprintf("checkpoint manager swallowed %d errors on a healthy store", ms.Errors))
 	}
 	return v
 }

@@ -12,7 +12,7 @@ import (
 // organization, and optional trace-round-trip / mixed-program behaviours, and
 // every decoded case must satisfy the cross-cutting invariants checked by
 // FuzzCase.Check — determinism, stat sanity, fingerprint stability,
-// replay-equals-record. The committed corpus under testdata/fuzz runs as part
+// replay-equals-record, checkpoint-resume transparency. The committed corpus under testdata/fuzz runs as part
 // of the plain unit-test suite; CI additionally fuzzes for 30 s per push.
 func FuzzScenario(f *testing.F) {
 	// Inline seeds complementing the committed corpus: the zero case and one
@@ -20,6 +20,7 @@ func FuzzScenario(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x01})                                                                   // two programs
 	f.Add([]byte("\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x02\x00\x01\x01")) // adaptive, round trip, mixed
+	f.Add([]byte("\x00\x00\x02\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x02\x00\x00\x01")) // adaptive, 3 kernels, checkpoint resume
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := CaseFromBytes(data)
 		if vs := c.Check(t.TempDir()); len(vs) > 0 {

@@ -78,6 +78,7 @@ type QueueStats struct {
 // two clients posting the same spec share one execution.
 type Queue struct {
 	store   *simstore.Store
+	cp      sweep.Checkpointer // nil = cold execution only
 	workers int
 	ttl     time.Duration // evict terminal jobs older than this (0 = keep)
 	maxJobs int           // hard cap on retained jobs (0 = unbounded)
@@ -99,8 +100,10 @@ type Queue struct {
 // GOMAXPROCS) and finished-job retention policy: terminal jobs with no
 // subscribers are evicted once older than ttl, and whenever the job map
 // exceeds maxJobs (oldest-finished first). Zero disables the respective
-// bound; in-flight and subscribed jobs are never evicted.
-func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int) *Queue {
+// bound; in-flight and subscribed jobs are never evicted. A non-nil cp makes
+// every executed run checkpoint-assisted (resumed from stored state prefixes
+// where possible; statistics are unaffected).
+func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int, cp sweep.Checkpointer) *Queue {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -112,6 +115,7 @@ func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int
 	rand.Read(token)
 	q := &Queue{
 		store:    store,
+		cp:       cp,
 		workers:  workers,
 		ttl:      ttl,
 		maxJobs:  maxJobs,
@@ -301,6 +305,10 @@ func (q *Queue) SubmitRunFP(key string, spec sweep.RunSpec, fp [32]byte) (Submit
 	j.fp = fp
 	j.spec = canon
 	j.spec.Key = j.ID // names the run in engine error messages
+	// Opt the execution into checkpoint resume/banking. Set after Canonical
+	// (which erases the flag), so the cache identity fp was computed from is
+	// unaffected — checkpointing changes wall-clock time, never statistics.
+	j.spec.Checkpoint = q.cp != nil
 	q.inflight[hexFP] = j
 	q.mu.Unlock()
 
@@ -356,13 +364,13 @@ func runFigureSafely(fig exp.FigureJob, opt exp.Options) (text string, err error
 }
 
 // executeSafely is the run-job equivalent of runFigureSafely.
-func executeSafely(spec sweep.RunSpec) (stats gpu.RunStats, err error) {
+func executeSafely(spec sweep.RunSpec, cp sweep.Checkpointer) (stats gpu.RunStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	return sweep.Execute(spec)
+	return sweep.ExecuteWith(spec, cp)
 }
 
 func (q *Queue) worker() {
@@ -375,7 +383,7 @@ func (q *Queue) worker() {
 			if !q.begin(j) {
 				continue // cancelled while queued
 			}
-			stats, err := executeSafely(j.spec)
+			stats, err := executeSafely(j.spec, q.cp)
 			if err == nil {
 				// A store write failure degrades caching, not correctness:
 				// the computed statistics are still returned.

@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/gpu"
@@ -79,6 +80,13 @@ type Config struct {
 	JobTTL  time.Duration
 	MaxJobs int
 
+	// Checkpoints makes every executed run checkpoint-assisted: GPU state
+	// snapshots at warmup end and kernel boundaries are banked as blobs in
+	// Store, and later runs sharing a prefix resume from them instead of
+	// re-simulating it. Statistics are byte-identical either way — this only
+	// changes wall-clock time and store disk usage.
+	Checkpoints bool
+
 	// Self and Peers enable cluster mode: Peers is the full member list
 	// (base URLs, including this daemon) and Self is this daemon's entry in
 	// it. Every member must be configured with the same Peers set. Empty
@@ -92,6 +100,7 @@ type Config struct {
 type Server struct {
 	store   *simstore.Store
 	queue   *Queue
+	ckpt    *checkpoint.Manager // nil unless Config.Checkpoints
 	mux     *http.ServeMux
 	started time.Time
 
@@ -108,11 +117,18 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	s := &Server{
 		store:    cfg.Store,
-		queue:    NewQueue(cfg.Store, cfg.Workers, cfg.JobTTL, cfg.MaxJobs),
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 		selfAddr: cluster.Normalize(cfg.Self),
 	}
+	// The checkpointer is handed to the queue as an interface; keep the nil
+	// case a true nil interface, not a typed nil *Manager.
+	var cp sweep.Checkpointer
+	if cfg.Checkpoints {
+		s.ckpt = checkpoint.NewManager(cfg.Store)
+		cp = s.ckpt
+	}
+	s.queue = NewQueue(cfg.Store, cfg.Workers, cfg.JobTTL, cfg.MaxJobs, cp)
 	if len(cfg.Peers) > 0 {
 		m, err := cluster.New(cfg.Self, cfg.Peers)
 		if err != nil {
@@ -739,9 +755,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "simd_cluster_failovers_total %d\n", atomic.LoadUint64(&s.failovers))
 	}
 	fmt.Fprintf(w, "simd_store_entries %d\n", ss.Entries)
+	fmt.Fprintf(w, "simd_store_blobs %d\n", ss.Blobs)
+	fmt.Fprintf(w, "simd_store_bytes %d\n", ss.TotalBytes)
 	fmt.Fprintf(w, "simd_store_hits_total %d\n", ss.Hits)
 	fmt.Fprintf(w, "simd_store_misses_total %d\n", ss.Misses)
 	fmt.Fprintf(w, "simd_store_puts_total %d\n", ss.Puts)
+	fmt.Fprintf(w, "simd_store_blob_hits_total %d\n", ss.BlobHits)
+	fmt.Fprintf(w, "simd_store_blob_misses_total %d\n", ss.BlobMisses)
+	fmt.Fprintf(w, "simd_store_blob_puts_total %d\n", ss.BlobPuts)
 	fmt.Fprintf(w, "simd_store_evictions_total %d\n", ss.Evictions)
 	fmt.Fprintf(w, "simd_store_corrupt_total %d\n", ss.Corrupt)
+	if s.ckpt != nil {
+		cs := s.ckpt.ManagerStats()
+		fmt.Fprintf(w, "simd_checkpoint_hits %d\n", cs.Hits)
+		fmt.Fprintf(w, "simd_checkpoint_saves %d\n", cs.Saves)
+		fmt.Fprintf(w, "simd_checkpoint_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(w, "simd_checkpoint_errors %d\n", cs.Errors)
+	}
 }

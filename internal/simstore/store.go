@@ -19,6 +19,14 @@ import (
 // version are treated as misses (and removed), never misread.
 const RecordVersion = 1
 
+// File extensions for the two kinds of content the store holds: JSON result
+// records and opaque checkpoint blobs (see internal/checkpoint for the blob
+// format). Both live in the same shard directories and share one LRU.
+const (
+	recordExt = ".json"
+	blobExt   = ".ckpt"
+)
+
 // Record is the unit the store persists: one run's statistics, addressed by
 // the fingerprint of its spec. Spec and Key are informational — they let a
 // human (or the simd API) see what a record is without reverse-engineering
@@ -34,39 +42,70 @@ type Record struct {
 
 // Options configures a Store.
 type Options struct {
-	// MaxEntries bounds the number of records kept on disk; once full, the
-	// least-recently-used record is evicted on insert. 0 means unbounded.
+	// MaxEntries bounds the number of entries (records and blobs together)
+	// kept on disk; once full, the least-recently-used entry is evicted on
+	// insert. 0 means unbounded.
 	MaxEntries int
+	// MaxBytes bounds the total on-disk size of all entries; the LRU evicts
+	// until under the bound. Checkpoint blobs dominate this budget (a record
+	// is a few KiB, a blob can be megabytes). 0 means unbounded.
+	MaxBytes int64
 }
 
 // Stats are the store's observability counters (served by simd's /metrics).
 type Stats struct {
-	Entries   int
-	Hits      uint64
-	Misses    uint64
-	Puts      uint64
-	Evictions uint64
-	Corrupt   uint64
+	Entries    int
+	Blobs      int
+	TotalBytes int64
+	Hits       uint64
+	Misses     uint64
+	Puts       uint64
+	BlobHits   uint64
+	BlobMisses uint64
+	BlobPuts   uint64
+	Evictions  uint64
+	Corrupt    uint64
 }
 
-// Store is a content-addressed, on-disk map from run fingerprint to result
-// record. Records are JSON files named <fingerprint>.json inside a two-hex-
-// character shard directory (aa/aabb....json), written atomically
-// (temp file + rename) so a crash never leaves a half-written record behind.
-// Reads tolerate corruption: an unparseable, version-skewed or mislabeled
-// record counts as a miss and the offending file is removed. Recency is an
-// in-memory LRU list seeded from file modification times at Open and
-// persisted back via mtime bumps on hits, so LRU eviction keeps working
-// across daemon restarts.
+// fileKey identifies one stored file: its fingerprint hex plus which of the
+// two namespaces (record or blob) it lives in. Records and blobs use
+// different fingerprint salts, but the extension split makes the namespaces
+// collision-proof by construction.
+type fileKey struct {
+	hex  string
+	blob bool
+}
+
+func (k fileKey) ext() string {
+	if k.blob {
+		return blobExt
+	}
+	return recordExt
+}
+
+// Store is a content-addressed, on-disk map from fingerprint to content:
+// result records (<fingerprint>.json) and checkpoint blobs (<fingerprint>.ckpt),
+// both inside a two-hex-character shard directory (aa/aabb...), written
+// atomically (temp file + rename) so a crash never leaves a half-written
+// entry behind. Reads tolerate corruption: an unparseable, version-skewed or
+// mislabeled record counts as a miss and the offending file is removed
+// (checkpoint blobs are opaque here; their consumer reports corruption via
+// DropBlob). Recency is an in-memory LRU list seeded from file modification
+// times at Open and persisted back via mtime bumps on hits, so LRU eviction
+// keeps working across daemon restarts. Records and blobs share the LRU and
+// both count against MaxEntries and MaxBytes.
 //
 // A Store is safe for concurrent use.
 type Store struct {
-	dir string
-	max int
+	dir      string
+	max      int
+	maxBytes int64
 
 	mu    sync.Mutex
-	index map[string]*list.Element // fingerprint hex -> lru element
-	lru   *list.List               // front = most recently used; values are hex strings
+	index map[fileKey]*list.Element // -> lru element
+	lru   *list.List                // front = most recently used; values are fileKeys
+	sizes map[fileKey]int64
+	bytes int64
 	stats Stats
 }
 
@@ -76,10 +115,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("simstore: open: %w", err)
 	}
 	s := &Store{
-		dir:   dir,
-		max:   opts.MaxEntries,
-		index: make(map[string]*list.Element),
-		lru:   list.New(),
+		dir:      dir,
+		max:      opts.MaxEntries,
+		maxBytes: opts.MaxBytes,
+		index:    make(map[fileKey]*list.Element),
+		lru:      list.New(),
+		sizes:    make(map[fileKey]int64),
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -87,10 +128,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// load seeds the LRU index from the records already on disk, oldest first.
+// load seeds the LRU index from the entries already on disk, oldest first.
 func (s *Store) load() error {
 	type onDisk struct {
-		hexFP string
+		key   fileKey
+		size  int64
 		mtime time.Time
 	}
 	var found []onDisk
@@ -111,49 +153,59 @@ func (s *Store) load() error {
 			if e.IsDir() {
 				continue
 			}
-			// A crash between CreateTemp and the rename in Put leaves a
+			// A crash between CreateTemp and the rename in put leaves a
 			// .tmp-* file behind; reclaim it (nothing references temp names).
 			if strings.HasPrefix(name, ".tmp-") {
 				os.Remove(filepath.Join(s.dir, shard.Name(), name))
 				continue
 			}
-			if !strings.HasSuffix(name, ".json") {
+			var key fileKey
+			switch {
+			case strings.HasSuffix(name, recordExt):
+				key = fileKey{hex: strings.TrimSuffix(name, recordExt)}
+			case strings.HasSuffix(name, blobExt):
+				key = fileKey{hex: strings.TrimSuffix(name, blobExt), blob: true}
+			default:
 				continue
 			}
-			hexFP := strings.TrimSuffix(name, ".json")
-			if len(hexFP) != 64 || !strings.HasPrefix(hexFP, shard.Name()) {
+			if len(key.hex) != 64 || !strings.HasPrefix(key.hex, shard.Name()) {
 				continue
 			}
 			info, err := e.Info()
 			if err != nil {
 				continue
 			}
-			found = append(found, onDisk{hexFP: hexFP, mtime: info.ModTime()})
+			found = append(found, onDisk{key: key, size: info.Size(), mtime: info.ModTime()})
 		}
 	}
 	// Oldest first, so pushing each to the LRU front leaves the most recent
-	// record at the front. Ties break on the fingerprint for determinism.
+	// entry at the front. Ties break on the fingerprint for determinism.
 	sort.Slice(found, func(i, j int) bool {
 		a, b := found[i], found[j]
 		if !a.mtime.Equal(b.mtime) {
 			return a.mtime.Before(b.mtime)
 		}
-		return a.hexFP < b.hexFP
+		if a.key.hex != b.key.hex {
+			return a.key.hex < b.key.hex
+		}
+		return !a.key.blob && b.key.blob
 	})
 	for _, f := range found {
-		s.index[f.hexFP] = s.lru.PushFront(f.hexFP)
+		s.index[f.key] = s.lru.PushFront(f.key)
+		s.sizes[f.key] = f.size
+		s.bytes += f.size
 	}
 	return nil
 }
 
-func (s *Store) path(hexFP string) string {
-	return filepath.Join(s.dir, hexFP[:2], hexFP+".json")
+func (s *Store) path(k fileKey) string {
+	return filepath.Join(s.dir, k.hex[:2], k.hex+k.ext())
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
-// Len returns the number of indexed records.
+// Len returns the number of indexed entries (records and blobs).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -166,6 +218,14 @@ func (s *Store) StoreStats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = s.lru.Len()
+	blobs := 0
+	for k := range s.index {
+		if k.blob {
+			blobs++
+		}
+	}
+	st.Blobs = blobs
+	st.TotalBytes = s.bytes
 	return st
 }
 
@@ -174,45 +234,50 @@ func (s *Store) StoreStats() Stats {
 // miss, never as an error. A hit refreshes the record's LRU position and
 // mtime.
 func (s *Store) Get(fp [32]byte) (Record, bool) {
-	hexFP := Hex(fp)
+	key := fileKey{hex: Hex(fp)}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	elem, ok := s.index[hexFP]
+	elem, ok := s.index[key]
 	if !ok {
 		s.stats.Misses++
 		return Record{}, false
 	}
-	data, err := os.ReadFile(s.path(hexFP))
+	data, err := os.ReadFile(s.path(key))
 	if err != nil {
 		// Index said yes but the file is gone (pruned externally): self-heal.
-		s.dropLocked(hexFP, elem, false)
+		s.dropLocked(key, elem, false)
 		s.stats.Misses++
 		return Record{}, false
 	}
 	var rec Record
 	if err := json.Unmarshal(data, &rec); err != nil ||
-		rec.Version != RecordVersion || rec.Fingerprint != hexFP {
-		s.dropLocked(hexFP, elem, true)
+		rec.Version != RecordVersion || rec.Fingerprint != key.hex {
+		s.dropLocked(key, elem, true)
 		s.stats.Corrupt++
 		s.stats.Misses++
 		return Record{}, false
 	}
-	s.lru.MoveToFront(elem)
-	now := time.Now()
-	os.Chtimes(s.path(hexFP), now, now) // persist recency; best-effort
+	s.touchLocked(key, elem)
 	s.stats.Hits++
 	return rec, true
 }
 
-// Put stores stats under fp, evicting least-recently-used records if the
-// store is over its bound. Putting an already-present fingerprint refreshes
+// touchLocked refreshes an entry's LRU position and persists the recency as
+// an mtime bump (best-effort). Callers hold s.mu.
+func (s *Store) touchLocked(key fileKey, elem *list.Element) {
+	s.lru.MoveToFront(elem)
+	now := time.Now()
+	os.Chtimes(s.path(key), now, now)
+}
+
+// Put stores stats under fp, evicting least-recently-used entries if the
+// store is over its bounds. Putting an already-present fingerprint refreshes
 // the record in place.
 func (s *Store) Put(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunStats) error {
-	hexFP := Hex(fp)
 	rec := Record{
 		Version:     RecordVersion,
-		Fingerprint: hexFP,
+		Fingerprint: Hex(fp),
 		Key:         key,
 		Spec:        spec.Canonical(),
 		Stats:       stats,
@@ -225,8 +290,76 @@ func (s *Store) Put(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunSt
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.putLocked(fileKey{hex: rec.Fingerprint}, data); err != nil {
+		return err
+	}
+	s.stats.Puts++
+	return nil
+}
 
-	path := s.path(hexFP)
+// PutBlob stores an opaque checkpoint blob under fp. The store never
+// interprets blob contents; internal/checkpoint owns the format.
+func (s *Store) PutBlob(fp [32]byte, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.putLocked(fileKey{hex: Hex(fp), blob: true}, data); err != nil {
+		return err
+	}
+	s.stats.BlobPuts++
+	return nil
+}
+
+// GetBlob looks up the checkpoint blob for fp; ok=false is a counted miss.
+// A hit refreshes the blob's LRU position and mtime. Callers that find the
+// returned bytes undecodable must report it via DropBlob so the store can
+// self-heal.
+func (s *Store) GetBlob(fp [32]byte) ([]byte, bool) {
+	key := fileKey{hex: Hex(fp), blob: true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	elem, ok := s.index[key]
+	if !ok {
+		s.stats.BlobMisses++
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.dropLocked(key, elem, false)
+		s.stats.BlobMisses++
+		return nil, false
+	}
+	s.touchLocked(key, elem)
+	s.stats.BlobHits++
+	return data, true
+}
+
+// HasBlob reports whether a blob is stored under fp, without touching LRU
+// recency or the hit/miss counters.
+func (s *Store) HasBlob(fp [32]byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[fileKey{hex: Hex(fp), blob: true}]
+	return ok
+}
+
+// DropBlob removes the blob stored under fp, counting it as corrupt. It is
+// the self-heal path for blobs whose content fails to decode downstream —
+// the corrupt file is deleted so the next run falls back to cold execution
+// and rewrites it.
+func (s *Store) DropBlob(fp [32]byte) {
+	key := fileKey{hex: Hex(fp), blob: true}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if elem, ok := s.index[key]; ok {
+		s.dropLocked(key, elem, true)
+		s.stats.Corrupt++
+	}
+}
+
+// putLocked atomically writes one file and indexes it. Callers hold s.mu.
+func (s *Store) putLocked(key fileKey, data []byte) error {
+	path := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("simstore: put: %w", err)
 	}
@@ -248,26 +381,39 @@ func (s *Store) Put(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunSt
 		return fmt.Errorf("simstore: put: %w", err)
 	}
 
-	if elem, ok := s.index[hexFP]; ok {
+	if elem, ok := s.index[key]; ok {
 		s.lru.MoveToFront(elem)
+		s.bytes += int64(len(data)) - s.sizes[key]
 	} else {
-		s.index[hexFP] = s.lru.PushFront(hexFP)
+		s.index[key] = s.lru.PushFront(key)
+		s.bytes += int64(len(data))
 	}
-	s.stats.Puts++
-	for s.max > 0 && s.lru.Len() > s.max {
-		oldest := s.lru.Back()
-		s.dropLocked(oldest.Value.(string), oldest, true)
-		s.stats.Evictions++
-	}
+	s.sizes[key] = int64(len(data))
+	s.evictLocked()
 	return nil
 }
 
-// dropLocked removes a record from the index and, if removeFile is set, from
+// evictLocked drops least-recently-used entries until both bounds hold.
+// Callers hold s.mu.
+func (s *Store) evictLocked() {
+	for (s.max > 0 && s.lru.Len() > s.max) || (s.maxBytes > 0 && s.bytes > s.maxBytes) {
+		oldest := s.lru.Back()
+		if oldest == nil {
+			return
+		}
+		s.dropLocked(oldest.Value.(fileKey), oldest, true)
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked removes an entry from the index and, if removeFile is set, from
 // disk. Callers hold s.mu.
-func (s *Store) dropLocked(hexFP string, elem *list.Element, removeFile bool) {
+func (s *Store) dropLocked(key fileKey, elem *list.Element, removeFile bool) {
 	s.lru.Remove(elem)
-	delete(s.index, hexFP)
+	delete(s.index, key)
+	s.bytes -= s.sizes[key]
+	delete(s.sizes, key)
 	if removeFile {
-		os.Remove(s.path(hexFP))
+		os.Remove(s.path(key))
 	}
 }

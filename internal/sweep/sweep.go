@@ -82,6 +82,15 @@ type RunSpec struct {
 	// RecordPath, when non-empty, captures the run's per-warp op stream to a
 	// trace file that can later be replayed via TracePath.
 	RecordPath string
+
+	// Checkpoint opts the run into checkpoint-assisted execution: when the
+	// executor has a Checkpointer, the run resumes from the longest stored
+	// state prefix (warmup end or a later kernel boundary) and emits
+	// checkpoints at those points for future runs. Checkpointing never
+	// changes the measured statistics — a resumed run is byte-identical to a
+	// cold one — so Canonical clears this flag. Ignored while recording a
+	// trace (a resumed run could not re-record its skipped prefix).
+	Checkpoint bool
 }
 
 // Canonical returns the spec reduced to the fields that determine its
@@ -93,6 +102,8 @@ type RunSpec struct {
 //     simulator.
 //   - RecordPath is cleared: capturing a trace is a side effect that leaves
 //     the measured statistics untouched (see Execute).
+//   - Checkpoint is cleared: resuming from a stored state prefix reproduces
+//     the cold run's statistics exactly, so it never affects the outcome.
 //   - Config is normalized, so a zero derived field and its explicitly
 //     spelled-out default compare equal.
 //   - A zero Kernels is resolved to the workload-derived default, so "let it
@@ -105,6 +116,7 @@ type RunSpec struct {
 func (s RunSpec) Canonical() RunSpec {
 	s.Key = ""
 	s.RecordPath = ""
+	s.Checkpoint = false
 	s.Config = s.Config.Normalize()
 	if s.Kernels == 0 && len(s.Workloads) > 0 {
 		s.Kernels = s.kernels()
@@ -127,37 +139,113 @@ func (s RunSpec) kernels() int {
 	return k
 }
 
-// Execute runs one spec to completion on the calling goroutine and returns
-// its statistics. It is the serial building block the Runner parallelizes,
-// and the single place where a declarative RunSpec is turned into generator,
-// GPU and simulation loop.
-func Execute(s RunSpec) (gpu.RunStats, error) {
-	fail := func(err error) (gpu.RunStats, error) {
-		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
-	}
+// Checkpointer lets an executor resume runs from stored state prefixes and
+// bank new prefixes as runs pass them. internal/checkpoint provides the
+// content-addressed implementation; the interface lives here so the sweep
+// engine stays free of storage dependencies.
+type Checkpointer interface {
+	// Resume tries to restore the longest stored prefix for spec. newProg
+	// builds a fresh program for each restore attempt (a failed restore may
+	// leave a program partially fast-forwarded, so attempts never share one).
+	// On success it returns the restored GPU, the program driving it, and the
+	// kernel boundary the snapshot was taken at (0 = warmup end).
+	Resume(spec RunSpec, newProg func() (workload.Program, error)) (g *gpu.GPU, prog workload.Program, atKernel int, ok bool)
+	// Checkpoint stores the GPU's current state as the prefix ending at
+	// kernel boundary atKernel (0 = warmup end). Failures are swallowed:
+	// checkpointing is an accelerator, never a correctness dependency.
+	Checkpoint(spec RunSpec, g *gpu.GPU, atKernel int)
+}
 
-	var (
-		prog   workload.Program
-		player *trace.Player
-		err    error
-	)
+// BuildProgram constructs the workload program a spec declares: a trace
+// player, a single generator, or a multi-program combination. The returned
+// player is non-nil only for trace replays (it aliases the program) and must
+// be closed by the caller.
+func BuildProgram(s RunSpec) (workload.Program, *trace.Player, error) {
 	switch {
 	case s.TracePath != "" && len(s.Workloads) > 0:
-		return fail(fmt.Errorf("TracePath and Workloads are mutually exclusive"))
+		return nil, nil, fmt.Errorf("TracePath and Workloads are mutually exclusive")
 	case s.TracePath != "":
 		policy := trace.EOFDrain
 		if s.TraceLoop {
 			policy = trace.EOFLoop
 		}
-		player, err = trace.NewPlayer(s.TracePath, s.Config.Normalize(), policy)
-		prog = player
+		player, err := trace.NewPlayer(s.TracePath, s.Config.Normalize(), policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		return player, player, nil
 	case len(s.Workloads) == 0:
-		return fail(fmt.Errorf("no workloads"))
+		return nil, nil, fmt.Errorf("no workloads")
 	case len(s.Workloads) == 1:
-		prog, err = workload.NewGenerator(s.Workloads[0], s.Config, s.Seed)
+		prog, err := workload.NewGenerator(s.Workloads[0], s.Config, s.Seed)
+		return prog, nil, err
 	default:
-		prog, err = workload.NewMultiProgram(s.Workloads, s.Config, s.Seed)
+		prog, err := workload.NewMultiProgram(s.Workloads, s.Config, s.Seed)
+		return prog, nil, err
 	}
+}
+
+// resolveKernels resolves the kernel count for execution, falling back to the
+// trace header for replays that leave Kernels unset.
+func (s RunSpec) resolveKernels(player *trace.Player) int {
+	kernels := s.kernels()
+	if s.Kernels == 0 && player != nil && player.Header().Kernels > 0 {
+		kernels = player.Header().Kernels
+	}
+	return kernels
+}
+
+// Execute runs one spec to completion on the calling goroutine and returns
+// its statistics. It is the serial building block the Runner parallelizes,
+// and the single place where a declarative RunSpec is turned into generator,
+// GPU and simulation loop.
+func Execute(s RunSpec) (gpu.RunStats, error) {
+	return ExecuteWith(s, nil)
+}
+
+// ExecuteWith is Execute with an optional checkpointer. When the spec opts in
+// (RunSpec.Checkpoint) and cp is non-nil, the run first tries to resume from
+// the longest stored state prefix and emits checkpoints at warmup end and at
+// every kernel boundary it passes. The returned statistics are byte-identical
+// to what the cold Execute produces.
+func ExecuteWith(s RunSpec, cp Checkpointer) (gpu.RunStats, error) {
+	fail := func(err error) (gpu.RunStats, error) {
+		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+	}
+
+	// Recording is incompatible with resuming: a run restored past its
+	// warmup could not re-record the skipped prefix, so the trace would be
+	// silently partial.
+	useCP := cp != nil && s.Checkpoint && s.RecordPath == ""
+	if useCP {
+		newProg := func() (workload.Program, error) {
+			prog, _, err := BuildProgram(s)
+			return prog, err
+		}
+		if g, prog, atKernel, ok := cp.Resume(s, newProg); ok {
+			player, _ := prog.(*trace.Player)
+			if player != nil {
+				defer player.Close()
+			}
+			kernels := s.resolveKernels(player)
+			hook := func(m int) { cp.Checkpoint(s, g, m) }
+			var stats gpu.RunStats
+			if atKernel == 0 {
+				// Restored at warmup end: the measured window starts fresh.
+				stats = g.RunCheckpointed(s.MeasureCycles, kernels, hook)
+			} else {
+				stats = g.ResumeRun(s.MeasureCycles, kernels, hook)
+			}
+			if player != nil {
+				if err := player.Err(); err != nil {
+					return fail(err)
+				}
+			}
+			return stats, nil
+		}
+	}
+
+	prog, player, err := BuildProgram(s)
 	if err != nil {
 		return fail(err)
 	}
@@ -165,10 +253,7 @@ func Execute(s RunSpec) (gpu.RunStats, error) {
 		defer player.Close()
 	}
 
-	kernels := s.kernels()
-	if s.Kernels == 0 && player != nil && player.Header().Kernels > 0 {
-		kernels = player.Header().Kernels
-	}
+	kernels := s.resolveKernels(player)
 
 	// Optional transparent capture: wrap the program so the run records its
 	// op stream to a replayable trace file.
@@ -223,8 +308,16 @@ func Execute(s RunSpec) (gpu.RunStats, error) {
 	}
 	if s.WarmupCycles > 0 {
 		g.Warmup(s.WarmupCycles)
+		if useCP {
+			cp.Checkpoint(s, g, 0)
+		}
 	}
-	stats := g.Run(s.MeasureCycles, kernels)
+	var stats gpu.RunStats
+	if useCP {
+		stats = g.RunCheckpointed(s.MeasureCycles, kernels, func(m int) { cp.Checkpoint(s, g, m) })
+	} else {
+		stats = g.Run(s.MeasureCycles, kernels)
+	}
 	if rec != nil {
 		if err := rec.Close(); err != nil {
 			os.Remove(s.RecordPath)
@@ -280,6 +373,9 @@ type Runner struct {
 	Workers int
 	// OnProgress, when non-nil, is invoked after every completed run.
 	OnProgress func(Progress)
+	// Checkpointer, when non-nil, lets runs that set RunSpec.Checkpoint
+	// resume from stored state prefixes and bank new ones.
+	Checkpointer Checkpointer
 }
 
 var _ Executor = (*Runner)(nil)
@@ -342,7 +438,7 @@ func (r *Runner) Run(ctx context.Context, specs []RunSpec) ([]Result, error) {
 					continue
 				}
 				res := Result{Index: i, Key: specs[i].Key}
-				res.Stats, res.Err = Execute(specs[i])
+				res.Stats, res.Err = ExecuteWith(specs[i], r.Checkpointer)
 				if res.Err != nil {
 					cancel()
 				}

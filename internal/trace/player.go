@@ -81,6 +81,7 @@ type Player struct {
 	ended    bool   // current pass hit the end-of-trace marker
 	loops    uint64 // completed rewinds (EOFLoop)
 	drainOps uint64 // no-ops issued after exhaustion (EOFDrain)
+	consumed uint64 // events read from the reader in the current pass
 	err      error
 }
 
@@ -176,6 +177,7 @@ func (p *Player) fill(q int) {
 			}
 			return
 		}
+		p.consumed++
 		switch ev.Kind {
 		case EventKernel:
 			for i := range p.queues {
@@ -203,6 +205,7 @@ func (p *Player) rewind() bool {
 	p.r = r
 	p.ended = false
 	p.loops++
+	p.consumed = 0
 	// A fresh pass starts at the current kernel: forget marker debt so the
 	// skip logic does not consume the new pass's segments.
 	for i := range p.crossed {

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// EntryState mirrors one buffered replay-queue element.
+type EntryState struct {
+	Op     workload.Op
+	Kernel bool
+}
+
+// PlayerState is the execution position of a Player: how far into the
+// current pass the reader is, the buffered read-ahead queues, and the
+// kernel-alignment bookkeeping. The trace content itself is not part of the
+// state — a restored player re-reads the same file, so the checkpoint key
+// must cover the trace content (simstore fingerprints hash it).
+type PlayerState struct {
+	EventsConsumed uint64
+	Queues         [][]EntryState
+	Crossed        []int
+	OpsSeen        []bool
+	Kernel         int
+	AppID          int
+	Ended          bool
+	Loops          uint64
+	DrainOps       uint64
+}
+
+const progKindPlayer = "trace.Player"
+
+// SaveProgState implements workload.Checkpointable.
+func (p *Player) SaveProgState() (workload.ProgramState, error) {
+	if p.err != nil {
+		return workload.ProgramState{}, fmt.Errorf("trace: cannot checkpoint a failed player: %w", p.err)
+	}
+	st := PlayerState{
+		EventsConsumed: p.consumed,
+		Queues:         make([][]EntryState, len(p.queues)),
+		Crossed:        append([]int(nil), p.crossed...),
+		OpsSeen:        append([]bool(nil), p.opsSeen...),
+		Kernel:         p.kernel,
+		AppID:          p.appID,
+		Ended:          p.ended,
+		Loops:          p.loops,
+		DrainOps:       p.drainOps,
+	}
+	for i, q := range p.queues {
+		st.Queues[i] = make([]EntryState, len(q))
+		for j, e := range q {
+			st.Queues[i][j] = EntryState{Op: e.op, Kernel: e.kernel}
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return workload.ProgramState{}, fmt.Errorf("trace: encode player state: %w", err)
+	}
+	return workload.ProgramState{Kind: progKindPlayer, Data: buf.Bytes()}, nil
+}
+
+// RestoreProgState implements workload.Checkpointable. The receiver must be
+// freshly built via NewPlayer on the same trace file: the reader is
+// fast-forwarded by discarding the events the snapshot had already consumed
+// this pass (every pass reads the identical file from the start), and the
+// buffered queues are then overwritten wholesale.
+func (p *Player) RestoreProgState(ps workload.ProgramState) error {
+	if ps.Kind != progKindPlayer {
+		return fmt.Errorf("trace: program state kind %q, want %q", ps.Kind, progKindPlayer)
+	}
+	var st PlayerState
+	if err := gob.NewDecoder(bytes.NewReader(ps.Data)).Decode(&st); err != nil {
+		return fmt.Errorf("trace: decode player state: %w", err)
+	}
+	if len(st.Queues) != len(p.queues) || len(st.Crossed) != len(p.crossed) || len(st.OpsSeen) != len(p.opsSeen) {
+		return fmt.Errorf("trace: player state has %d queues, player has %d (geometry changed?)", len(st.Queues), len(p.queues))
+	}
+	// Every pass reads the identical file from the start, so only the
+	// within-pass offset matters, regardless of how many rewinds preceded the
+	// snapshot. When the pass already ended, the reader is never touched
+	// again before a rewind replaces it, so its position is irrelevant.
+	if !st.Ended {
+		for i := uint64(0); i < st.EventsConsumed; i++ {
+			if _, err := p.r.Next(); err != nil {
+				return fmt.Errorf("trace: fast-forwarding to event %d/%d: %w", i, st.EventsConsumed, err)
+			}
+		}
+	}
+	for i, q := range st.Queues {
+		p.queues[i] = p.queues[i][:0]
+		for _, e := range q {
+			p.queues[i] = append(p.queues[i], entry{op: e.Op, kernel: e.Kernel})
+		}
+	}
+	copy(p.crossed, st.Crossed)
+	copy(p.opsSeen, st.OpsSeen)
+	p.kernel = st.Kernel
+	p.SetApp(st.AppID)
+	p.ended = st.Ended
+	p.loops = st.Loops
+	p.drainOps = st.DrainOps
+	p.consumed = st.EventsConsumed
+	return nil
+}

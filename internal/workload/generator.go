@@ -53,7 +53,13 @@ type warpState struct {
 type Generator struct {
 	spec Spec
 	cfg  config.Config
+	seed int64
 	rng  *rand.Rand
+	// src counts raw Int63 draws so a checkpoint can fast-forward a fresh
+	// stream to the same position (see state.go). Every Rand method the
+	// generator uses (Float64, Int63n) consumes exactly one Int63 per call to
+	// the underlying source per internal draw, so the count is exact.
+	src *countingSource
 
 	lineBytes   uint64
 	sharedLines uint64
@@ -84,10 +90,13 @@ func NewGenerator(spec Spec, cfg config.Config, seed int64) (*Generator, error) 
 	if cfg.NumSMs <= 0 || cfg.MaxWarpsPerSM <= 0 {
 		return nil, fmt.Errorf("workload: invalid GPU config (SMs=%d warps=%d)", cfg.NumSMs, cfg.MaxWarpsPerSM)
 	}
+	src := &countingSource{src: rand.NewSource(seed)}
 	g := &Generator{
 		spec:      spec,
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
+		rng:       rand.New(src),
+		src:       src,
 		lineBytes: uint64(cfg.LLCLineBytes),
 	}
 	g.sharedLines = spec.SharedLines(cfg.LLCLineBytes)

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// countingSource wraps a rand.Source and counts Int63 draws. It deliberately
+// does not implement rand.Source64: forcing every Rand method through Int63
+// keeps the draw count an exact measure of stream position, and produces the
+// same value sequence as the bare source for the methods the generator uses
+// (Float64 and Int63n both reduce to Int63 draws).
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
+
+// ProgramState is a serialized snapshot of a Program's execution position.
+// Kind names the concrete implementation, Data its gob-encoded state; Subs
+// carries the children of composite programs.
+type ProgramState struct {
+	Kind string
+	Data []byte
+	Subs []ProgramState
+}
+
+// Checkpointable is implemented by programs that can be snapshotted and
+// fast-forwarded. Restore is a method on a freshly constructed program built
+// from the same inputs (spec, config, seed, trace file) — the state captures
+// only the execution position, not the program's identity.
+type Checkpointable interface {
+	SaveProgState() (ProgramState, error)
+	RestoreProgState(st ProgramState) error
+}
+
+// GeneratorWarpState mirrors one warp's sweep position (the CTA identity is
+// re-derived by construction).
+type GeneratorWarpState struct {
+	SweepPos uint64
+	PrivPos  uint64
+	StartPos uint64
+}
+
+// GeneratorState is the execution position of a Generator.
+type GeneratorState struct {
+	Seed           int64
+	RNGDraws       uint64
+	Kernel         int
+	GlobalFrontier uint64
+	SharedCount    uint64
+	AppID          int
+	TotalOps       uint64
+	TotalMemOps    uint64
+	TotalShared    uint64
+	TotalPrivate   uint64
+	Warps          []GeneratorWarpState
+}
+
+const progKindGenerator = "workload.Generator"
+
+// SaveProgState implements Checkpointable.
+func (g *Generator) SaveProgState() (ProgramState, error) {
+	st := GeneratorState{
+		Seed:           g.seed,
+		RNGDraws:       g.src.draws,
+		Kernel:         g.kernel,
+		GlobalFrontier: g.globalFrontier,
+		SharedCount:    g.sharedCount,
+		AppID:          g.appID,
+		TotalOps:       g.totalOps,
+		TotalMemOps:    g.totalMemOps,
+		TotalShared:    g.totalShared,
+		TotalPrivate:   g.totalPrivate,
+	}
+	for s := range g.warps {
+		for w := range g.warps[s] {
+			ws := g.warps[s][w]
+			st.Warps = append(st.Warps, GeneratorWarpState{
+				SweepPos: ws.sweepPos,
+				PrivPos:  ws.privPos,
+				StartPos: ws.startPos,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return ProgramState{}, fmt.Errorf("workload: encode generator state: %w", err)
+	}
+	return ProgramState{Kind: progKindGenerator, Data: buf.Bytes()}, nil
+}
+
+// RestoreProgState implements Checkpointable. The receiver must be freshly
+// built via NewGenerator with the same spec, config and seed; the RNG is
+// fast-forwarded by discarding draws, which reproduces the exact stream
+// position even through Int63n's rejection sampling.
+func (g *Generator) RestoreProgState(ps ProgramState) error {
+	if ps.Kind != progKindGenerator {
+		return fmt.Errorf("workload: program state kind %q, want %q", ps.Kind, progKindGenerator)
+	}
+	var st GeneratorState
+	if err := gob.NewDecoder(bytes.NewReader(ps.Data)).Decode(&st); err != nil {
+		return fmt.Errorf("workload: decode generator state: %w", err)
+	}
+	if st.Seed != g.seed {
+		return fmt.Errorf("workload: generator state for seed %d restored onto seed %d", st.Seed, g.seed)
+	}
+	want := 0
+	for s := range g.warps {
+		want += len(g.warps[s])
+	}
+	if len(st.Warps) != want {
+		return fmt.Errorf("workload: generator state has %d warps, generator has %d", len(st.Warps), want)
+	}
+	if st.RNGDraws < g.src.draws {
+		return fmt.Errorf("workload: generator state predates construction (%d < %d draws)", st.RNGDraws, g.src.draws)
+	}
+	for g.src.draws < st.RNGDraws {
+		g.src.Int63()
+	}
+	i := 0
+	for s := range g.warps {
+		for w := range g.warps[s] {
+			ws := st.Warps[i]
+			i++
+			g.warps[s][w].sweepPos = ws.SweepPos
+			g.warps[s][w].privPos = ws.PrivPos
+			g.warps[s][w].startPos = ws.StartPos
+		}
+	}
+	g.kernel = st.Kernel
+	g.globalFrontier = st.GlobalFrontier
+	g.sharedCount = st.SharedCount
+	g.SetApp(st.AppID)
+	g.totalOps = st.TotalOps
+	g.totalMemOps = st.TotalMemOps
+	g.totalShared = st.TotalShared
+	g.totalPrivate = st.TotalPrivate
+	return nil
+}
+
+const progKindMulti = "workload.MultiProgram"
+
+// SaveProgState implements Checkpointable: a multi-program snapshot is the
+// snapshots of its children, in application order. Every child must itself
+// be Checkpointable.
+func (m *MultiProgram) SaveProgState() (ProgramState, error) {
+	st := ProgramState{Kind: progKindMulti, Subs: make([]ProgramState, len(m.progs))}
+	for i, p := range m.progs {
+		cp, ok := p.(Checkpointable)
+		if !ok {
+			return ProgramState{}, fmt.Errorf("workload: program %d (%T) is not checkpointable", i, p)
+		}
+		sub, err := cp.SaveProgState()
+		if err != nil {
+			return ProgramState{}, fmt.Errorf("workload: program %d: %w", i, err)
+		}
+		st.Subs[i] = sub
+	}
+	return st, nil
+}
+
+// RestoreProgState implements Checkpointable. The receiver must be freshly
+// built with the same programs in the same order.
+func (m *MultiProgram) RestoreProgState(ps ProgramState) error {
+	if ps.Kind != progKindMulti {
+		return fmt.Errorf("workload: program state kind %q, want %q", ps.Kind, progKindMulti)
+	}
+	if len(ps.Subs) != len(m.progs) {
+		return fmt.Errorf("workload: program state has %d applications, multi-program has %d", len(ps.Subs), len(m.progs))
+	}
+	for i, p := range m.progs {
+		cp, ok := p.(Checkpointable)
+		if !ok {
+			return fmt.Errorf("workload: program %d (%T) is not checkpointable", i, p)
+		}
+		if err := cp.RestoreProgState(ps.Subs[i]); err != nil {
+			return fmt.Errorf("workload: program %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# checkpoint_smoke.sh — end-to-end smoke test of the checkpoint subsystem:
+# regenerate one figure cold, then twice checkpoint-assisted against a fresh
+# store. The figure text must be byte-identical across all three passes
+# (checkpointing may only change wall-clock time, never statistics), the
+# second checkpointed pass must actually resume from banked prefixes, and
+# every banked blob must be inspectable with checkpointtool.
+#
+# Usage: scripts/checkpoint_smoke.sh [store-dir]
+#
+#   store-dir           where the checkpoint blobs are banked
+#                       (default: ./checkpoint-store; CI uploads it as an
+#                       artifact)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+store="${1:-checkpoint-store}"
+
+go build -o smoke-paperfigs ./cmd/paperfigs
+go build -o smoke-checkpointtool ./cmd/checkpointtool
+trap 'rm -f smoke-paperfigs smoke-checkpointtool cold.out banked.out resumed.out' EXIT
+
+figure() { ./smoke-paperfigs -figure 11 -quick -progress=false "$@"; }
+
+echo "cold figure run"
+figure > cold.out
+
+echo "checkpoint-banking figure run (fresh store)"
+rm -rf "$store"
+figure -checkpoints -checkpoint-dir "$store" > banked.out
+
+echo "checkpoint-resumed figure run"
+figure -checkpoints -checkpoint-dir "$store" > resumed.out
+
+# The figure text must be byte-identical in all three passes; only the
+# bracketed timing/summary lines may differ.
+strip() { grep -v '^\[' "$1"; }
+diff <(strip cold.out) <(strip banked.out) \
+  || { echo "banking pass changed the figure output"; exit 1; }
+diff <(strip cold.out) <(strip resumed.out) \
+  || { echo "resumed pass changed the figure output"; exit 1; }
+
+# The second checkpointed pass must have restored at least one snapshot.
+grep -E '^\[checkpoints: [1-9][0-9]* runs resumed' resumed.out >/dev/null \
+  || { echo "resumed pass never hit a checkpoint:"; cat resumed.out; exit 1; }
+
+# The banking pass must have stored snapshots, and each blob must carry a
+# readable self-describing header.
+./smoke-checkpointtool ls "$store"
+one="$(find "$store" -name '*.ckpt' -print -quit)"
+[ -n "$one" ] || { echo "no checkpoint blobs banked under $store"; exit 1; }
+./smoke-checkpointtool info -state "$one"
+
+echo "checkpoint smoke passed: figure output byte-identical cold vs resumed"
