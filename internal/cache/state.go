@@ -117,7 +117,23 @@ func (m *MSHRTable[P]) RestoreState(st MSHRState[P]) error {
 	m.lines = append(m.lines[:0], st.Lines...)
 	m.payloads = m.payloads[:0]
 	for _, ps := range st.Payloads {
-		m.payloads = append(m.payloads, append([]P(nil), ps...))
+		// Fill entries through the same free list insert uses. An exact-size
+		// copy here would poison the recycling pool: capacity-len(ps) slices
+		// re-grow on every later merge, so a restored table would keep
+		// allocating long after a cold one went quiet.
+		var buf []P
+		if n := len(m.freePayloads); n > 0 {
+			buf = m.freePayloads[n-1][:0]
+			m.freePayloads[n-1] = nil
+			m.freePayloads = m.freePayloads[:n-1]
+		} else {
+			c := 8
+			if len(ps) > c {
+				c = len(ps)
+			}
+			buf = make([]P, 0, c)
+		}
+		m.payloads = append(m.payloads, append(buf, ps...))
 	}
 	// Reset already bumped the stamp, invalidating outstanding Probes; no
 	// Probe is ever held across a checkpoint boundary.

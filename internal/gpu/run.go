@@ -150,6 +150,13 @@ func (g *GPU) runLoop(cycles uint64, kernels int) {
 // loopUntil advances the simulation until `end`, firing kernel boundaries on
 // the schedule given by kernelLen/nextKernel (relative to g.runStart).
 func (g *GPU) loopUntil(end, kernelLen, nextKernel uint64, onBoundary func(m int)) {
+	if g.eng != nil {
+		// The sharded engine's workers live for the duration of the loop:
+		// spawned once here, synchronized per cycle by a spin barrier, and
+		// stopped on exit so idle GPUs hold no goroutines.
+		g.eng.start()
+		defer g.eng.stop()
+	}
 	for g.cycle < end {
 		g.cycle++
 		g.modeCycles[g.mode]++
@@ -199,6 +206,10 @@ func (g *GPU) loopUntil(end, kernelLen, nextKernel uint64, onBoundary func(m int
 
 // step advances every component by one cycle.
 func (g *GPU) step() {
+	if g.eng != nil {
+		g.stepSharded()
+		return
+	}
 	stalled := g.reconfigActive || g.cycle < g.stallUntil
 	if stalled {
 		g.stallCycles++

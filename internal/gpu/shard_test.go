@@ -1,0 +1,176 @@
+package gpu
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// shardTestConfig is the determinism matrix's micro GPU: like
+// stateTestConfig but with enough SMs, schedulers and slices that contiguous
+// shard partitioning is non-trivial (8 SMs, 4 slices — so 3 and 5 shards
+// both leave uneven ranges).
+func shardTestConfig(mode config.LLCMode) config.Config {
+	cfg := stateTestConfig(mode)
+	cfg.NumSMs = 8
+	cfg.NumClusters = 2
+	cfg.SchedulersPerSM = 2
+	return cfg
+}
+
+// runMatrixPoint executes one warmup+measured run at the given shard count,
+// capturing RunStats and a gob-encoded State snapshot at every kernel
+// boundary.
+func runMatrixPoint(t *testing.T, cfg config.Config, shards int) (RunStats, [][]byte) {
+	t.Helper()
+	spec := stateTestSpec(t)
+	cfg.Shards = shards
+	g, err := New(cfg, workload.MustNewGenerator(spec, cfg, stateSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Warmup(stateWarmup)
+	var snaps [][]byte
+	stats := g.RunCheckpointed(stateMeasure, stateKernels, func(m int) {
+		st, err := g.SaveState()
+		if err != nil {
+			t.Fatalf("boundary %d: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+			t.Fatalf("boundary %d: %v", m, err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	})
+	return stats, snaps
+}
+
+// TestShardedDeterminismMatrix is the sharded loop's absolute gate: for
+// every LLC organization, running with 2, 3, 5 and GOMAXPROCS shards
+// (including counts that do not divide the SM or slice count) must produce
+// RunStats and kernel-boundary State snapshots byte-identical to the serial
+// loop's.
+func TestShardedDeterminismMatrix(t *testing.T) {
+	shardCounts := []int{2, 3, 5, runtime.GOMAXPROCS(0)}
+	for _, mode := range []config.LLCMode{config.LLCShared, config.LLCPrivate, config.LLCAdaptive} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := shardTestConfig(mode)
+			serialStats, serialSnaps := runMatrixPoint(t, cfg, 1)
+			if len(serialSnaps) != stateKernels-1 {
+				t.Fatalf("expected %d boundary snapshots, got %d", stateKernels-1, len(serialSnaps))
+			}
+			for _, n := range shardCounts {
+				t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+					stats, snaps := runMatrixPoint(t, cfg, n)
+					if !reflect.DeepEqual(serialStats, stats) {
+						t.Errorf("RunStats differ from serial loop:\nserial:  %+v\nsharded: %+v", serialStats, stats)
+					}
+					if len(snaps) != len(serialSnaps) {
+						t.Fatalf("snapshot count %d, serial %d", len(snaps), len(serialSnaps))
+					}
+					for i := range snaps {
+						if !bytes.Equal(serialSnaps[i], snaps[i]) {
+							t.Errorf("boundary %d state snapshot differs from serial loop", i+1)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardedMultiProgramIdentity covers the per-app LLC-mode path (sliceFor
+// reads appModes inside the parallel execute phase): a mixed
+// shared+private co-execution must be shard-count invariant.
+func TestShardedMultiProgramIdentity(t *testing.T) {
+	specA := stateTestSpec(t)
+	specB, ok := workload.ByAbbr("VA")
+	if !ok {
+		t.Fatal("unknown benchmark VA")
+	}
+	specB.Kernels = stateKernels
+	modes := []config.LLCMode{config.LLCShared, config.LLCPrivate}
+
+	run := func(shards int) RunStats {
+		cfg := shardTestConfig(config.LLCShared)
+		cfg.Shards = shards
+		mp, err := workload.NewMultiProgram([]workload.Spec{specA, specB}, cfg, stateSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(cfg, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.SetAppModes(modes); err != nil {
+			t.Fatal(err)
+		}
+		g.Warmup(stateWarmup)
+		return g.Run(stateMeasure, stateKernels)
+	}
+
+	serial := run(1)
+	for _, n := range []int{2, 3} {
+		if got := run(n); !reflect.DeepEqual(serial, got) {
+			t.Errorf("shards=%d: multi-program stats differ from serial loop", n)
+		}
+	}
+}
+
+// TestShardedCheckpointRoundTrip banks kernel-boundary snapshots from a
+// *sharded* run and resumes them under a *different* shard count: the
+// resumed halves must reproduce the serial run's statistics exactly. This is
+// the bank->restore round-trip gate under sharding, and doubles as proof
+// that checkpoints are shard-blind in both directions.
+func TestShardedCheckpointRoundTrip(t *testing.T) {
+	spec := stateTestSpec(t)
+	cfg := shardTestConfig(config.LLCAdaptive)
+
+	serialCfg := cfg
+	serialCfg.Shards = 1
+	serial, err := New(serialCfg, workload.MustNewGenerator(spec, serialCfg, stateSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Warmup(stateWarmup)
+	serialStats := serial.Run(stateMeasure, stateKernels)
+
+	bankCfg := cfg
+	bankCfg.Shards = 3
+	banked, err := New(bankCfg, workload.MustNewGenerator(spec, bankCfg, stateSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked.Warmup(stateWarmup)
+	var snaps []State
+	bankedStats := banked.RunCheckpointed(stateMeasure, stateKernels, func(m int) {
+		st, err := banked.SaveState()
+		if err != nil {
+			t.Fatalf("boundary %d: %v", m, err)
+		}
+		snaps = append(snaps, st)
+	})
+	requireSameStats(t, serialStats, bankedStats)
+	if len(snaps) != stateKernels-1 {
+		t.Fatalf("expected %d boundary snapshots, got %d", stateKernels-1, len(snaps))
+	}
+
+	resumeCfg := cfg
+	resumeCfg.Shards = 2
+	for i, st := range snaps {
+		resumed, err := Restore(resumeCfg, workload.MustNewGenerator(spec, resumeCfg, stateSeed), gobRoundTrip(t, st))
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i+1, err)
+		}
+		if got := resumed.Shards(); got != 2 {
+			t.Fatalf("restored GPU has %d shards, want 2", got)
+		}
+		requireSameStats(t, serialStats, resumed.ResumeRun(stateMeasure, stateKernels, nil))
+	}
+}

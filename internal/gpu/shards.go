@@ -1,0 +1,503 @@
+package gpu
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/llc"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/pool"
+)
+
+// shardEngine executes the cycle loop across a fixed number of shards, each
+// owning a contiguous range of SMs and LLC slices. Every cycle alternates
+// short parallel phases (per-shard component ticks writing into per-shard
+// staging buffers) with serial merge phases that replay the staged traffic
+// in global SM/slice index order, so the NoCs, the memory controllers, the
+// adaptive controller and the workload program observe exactly the event
+// sequence the serial loop produces — statistics and state snapshots are
+// byte-identical for any shard count (see DESIGN.md "Deterministic parallel
+// cycle loop").
+//
+// Workers are persistent goroutines synchronized by a generation-counter
+// spin barrier (with runtime.Gosched backoff, so oversubscribed hosts stay
+// live); they are started when a run loop is entered and stopped when it
+// exits. Each shard has its own mem.Request free-list, shared by the
+// shard's SMs and slices and rebalanced serially at the end of every cycle,
+// so the zero-allocation steady state survives cross-shard traffic without
+// any locking on the hot path.
+type shardEngine struct {
+	g *GPU
+	n int
+
+	// Shard ownership: shard k owns SMs [smLo[k], smHi[k]) and slices
+	// [slLo[k], slHi[k]). Contiguous ranges make the per-shard staging
+	// buffers already globally ordered when merged shard-by-shard.
+	smLo, smHi []int
+	slLo, slHi []int
+	smShard    []int // SM index -> owning shard
+	slShard    []int // slice index -> owning shard
+
+	// Per-shard request free-lists (see rebalancePools).
+	reqPools []*pool.FreeList[mem.Request]
+
+	// Per-shard staging buffers, reused across cycles.
+	reqStage  [][]stagedReq
+	dramStage [][]stagedDRAM
+	replyWork [][]*noc.Packet // reply-net deliveries per destination-SM shard
+
+	// Pre-bound phase closures so the hot loop does not allocate.
+	fnPlan    func(int)
+	fnExec    func(int)
+	fnSlices  func(int)
+	fnDeliver func(int)
+
+	// Worker-pool barrier state. fn/panics are plain fields: writes are
+	// published to the workers by the atomic gen bump and read back by the
+	// atomic pending countdown (both synchronizing per the Go memory model).
+	started bool
+	fn      func(int)
+	gen     uint32
+	pending int32
+	panics  []any
+}
+
+// stagedReq is one SM request captured during the parallel execute phase.
+// Destination slice, flit count and observation coordinates are precomputed
+// in parallel; the serial merge only wraps packets and injects.
+type stagedReq struct {
+	req         *mem.Request
+	dst         int
+	flits       int
+	obsChannel  int
+	obsSliceIdx int // shared-slice index for Controller.ObserveRequest
+}
+
+// stagedDRAM is one LLC->DRAM transaction captured during the parallel
+// slice phase. The original llc.DRAMRequest is kept so a full memory
+// controller can push it back with UnpopDRAMRequest, exactly as the serial
+// loop leaves unaccepted traffic queued in the slice.
+type stagedDRAM struct {
+	slice int
+	mc    int
+	d     llc.DRAMRequest
+	req   dram.Request
+}
+
+func newShardEngine(g *GPU, n int) *shardEngine {
+	e := &shardEngine{
+		g:         g,
+		n:         n,
+		smLo:      make([]int, n),
+		smHi:      make([]int, n),
+		slLo:      make([]int, n),
+		slHi:      make([]int, n),
+		smShard:   make([]int, len(g.sms)),
+		slShard:   make([]int, len(g.slices)),
+		reqPools:  make([]*pool.FreeList[mem.Request], n),
+		reqStage:  make([][]stagedReq, n),
+		dramStage: make([][]stagedDRAM, n),
+		replyWork: make([][]*noc.Packet, n),
+		panics:    make([]any, n),
+	}
+	for k := 0; k < n; k++ {
+		e.smLo[k] = k * len(g.sms) / n
+		e.smHi[k] = (k + 1) * len(g.sms) / n
+		e.slLo[k] = k * len(g.slices) / n
+		e.slHi[k] = (k + 1) * len(g.slices) / n
+		e.reqPools[k] = &pool.FreeList[mem.Request]{}
+		for i := e.smLo[k]; i < e.smHi[k]; i++ {
+			e.smShard[i] = k
+			g.sms[i].UseRequestPool(e.reqPools[k])
+		}
+		for i := e.slLo[k]; i < e.slHi[k]; i++ {
+			e.slShard[i] = k
+			g.slices[i].UseRequestPool(e.reqPools[k])
+		}
+	}
+	e.fnPlan = e.planShard
+	e.fnExec = e.execShard
+	e.fnSlices = e.sliceShard
+	e.fnDeliver = e.deliverShard
+	return e
+}
+
+// start spawns the n-1 worker goroutines (shard 0 runs on the caller).
+func (e *shardEngine) start() {
+	if e.started || e.n <= 1 {
+		return
+	}
+	e.started = true
+	// Capture the barrier generation before spawning: a worker that loaded
+	// it itself could race with the first parallel() bump and wait for a
+	// generation that already passed.
+	base := atomic.LoadUint32(&e.gen)
+	for k := 1; k < e.n; k++ {
+		go e.worker(k, base)
+	}
+}
+
+// stop terminates the workers and waits for them to exit.
+func (e *shardEngine) stop() {
+	if !e.started {
+		return
+	}
+	e.started = false
+	e.fn = nil
+	atomic.StoreInt32(&e.pending, int32(e.n-1))
+	atomic.AddUint32(&e.gen, 1)
+	e.awaitPending()
+}
+
+func (e *shardEngine) worker(k int, last uint32) {
+	for {
+		last = e.awaitGen(last)
+		fn := e.fn
+		if fn == nil {
+			atomic.AddInt32(&e.pending, -1)
+			return
+		}
+		e.runShard(fn, k)
+		atomic.AddInt32(&e.pending, -1)
+	}
+}
+
+// runShard executes one shard's phase work, capturing panics so a worker
+// failure (e.g. an SM invariant violation) surfaces on the main goroutine
+// after the barrier instead of killing the process from a bare goroutine.
+func (e *shardEngine) runShard(fn func(int), k int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[k] = r
+		}
+	}()
+	fn(k)
+}
+
+// parallel runs fn(shard) on every shard concurrently and returns once all
+// shards finished (re-panicking if any shard panicked).
+func (e *shardEngine) parallel(fn func(int)) {
+	if !e.started {
+		// Degenerate (tests poking a single step without a run loop): run
+		// the shards inline; the result is identical, only slower.
+		for k := 0; k < e.n; k++ {
+			fn(k)
+		}
+		return
+	}
+	e.fn = fn
+	atomic.StoreInt32(&e.pending, int32(e.n-1))
+	atomic.AddUint32(&e.gen, 1)
+	e.runShard(fn, 0)
+	e.awaitPending()
+	for k, p := range e.panics {
+		if p != nil {
+			e.panics[k] = nil
+			panic(p)
+		}
+	}
+}
+
+// awaitGen spins until the barrier generation moves past `last`. The first
+// iterations spin hot (phase hand-offs are sub-microsecond on a busy
+// multicore); after that every iteration yields so oversubscribed hosts
+// (shards > GOMAXPROCS) keep making progress.
+func (e *shardEngine) awaitGen(last uint32) uint32 {
+	for i := 0; ; i++ {
+		if gen := atomic.LoadUint32(&e.gen); gen != last {
+			return gen
+		}
+		if i > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (e *shardEngine) awaitPending() {
+	for i := 0; ; i++ {
+		if atomic.LoadInt32(&e.pending) == 0 {
+			return
+		}
+		if i > 128 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// planShard computes scheduler picks for the shard's SMs (phase P1).
+func (e *shardEngine) planShard(k int) {
+	g := e.g
+	for i := e.smLo[k]; i < e.smHi[k]; i++ {
+		g.sms[i].PlanIssue(g.cycle)
+	}
+}
+
+// execShard executes the planned issues and drains each SM's outgoing queue
+// into the shard's staging buffer with destination/flits/observation
+// precomputed (phase P2). Staging order is SM index order within the shard,
+// which mergeInject's shard-by-shard sweep turns into global SM order.
+func (e *shardEngine) execShard(k int) {
+	g := e.g
+	reqFlits := g.cfg.RequestFlits()
+	writeFlits := g.cfg.ReplyFlits()
+	stage := e.reqStage[k][:0]
+	for i := e.smLo[k]; i < e.smHi[k]; i++ {
+		s := g.sms[i]
+		s.TickPlanned()
+		for {
+			req, ok := s.PopRequest()
+			if !ok {
+				break
+			}
+			loc := g.mapper.Map(req.Addr)
+			flits := reqFlits
+			if req.Write {
+				flits = writeFlits
+			}
+			stage = append(stage, stagedReq{
+				req:         req,
+				dst:         g.sliceFor(req, loc),
+				flits:       flits,
+				obsChannel:  loc.Channel,
+				obsSliceIdx: loc.Channel*g.cfg.LLCSlicesPerMC + loc.Slice,
+			})
+		}
+	}
+	e.reqStage[k] = stage
+}
+
+// mergeInject injects the staged requests serially in global SM order — the
+// exact sequence the serial loop's injectRequests produces. On an injection
+// failure the failed request and the rest of that SM's staged requests go
+// back to the head of its queue in order, reproducing the serial loop's
+// stop-at-first-failure-per-SM behaviour.
+func (e *shardEngine) mergeInject() {
+	g := e.g
+	observe := g.ctrl != nil && g.mode == config.LLCShared
+	for k := 0; k < e.n; k++ {
+		stage := e.reqStage[k]
+		for i := 0; i < len(stage); {
+			ent := stage[i]
+			pkt := g.pktPool.Get()
+			pkt.ID, pkt.Src, pkt.Dst, pkt.Flits, pkt.Req = ent.req.ID, ent.req.SM, ent.dst, ent.flits, ent.req
+			if !g.reqNet.Inject(pkt) {
+				g.pktPool.Put(pkt)
+				smID := ent.req.SM
+				j := i
+				for j < len(stage) && stage[j].req.SM == smID {
+					j++
+				}
+				for x := j - 1; x >= i; x-- {
+					g.sms[smID].UnpopRequest(stage[x].req)
+				}
+				i = j
+				continue
+			}
+			if observe {
+				g.ctrl.ObserveRequest(ent.req.Addr, ent.req.Cluster, ent.obsChannel, ent.obsSliceIdx)
+			}
+			i++
+		}
+		e.reqStage[k] = stage[:0]
+	}
+}
+
+// sliceShard ticks the shard's LLC slices and stages their DRAM traffic
+// with bank/row mapping precomputed (phase P3).
+func (e *shardEngine) sliceShard(k int) {
+	g := e.g
+	stage := e.dramStage[k][:0]
+	for i := e.slLo[k]; i < e.slHi[k]; i++ {
+		s := g.slices[i]
+		s.Tick(g.cycle)
+		for {
+			d, ok := s.PopDRAMRequest()
+			if !ok {
+				break
+			}
+			loc := g.mapper.Map(d.Addr)
+			stage = append(stage, stagedDRAM{
+				slice: i,
+				mc:    s.MC(),
+				d:     d,
+				req: dram.Request{
+					ID:    uint64(s.ID())<<48 | uint64(d.Addr>>7),
+					Bank:  loc.Bank,
+					Row:   loc.Row,
+					Write: d.Write,
+					Meta:  dram.Meta{Slice: s.ID(), Addr: d.Addr, Fill: d.Fill},
+				},
+			})
+		}
+	}
+	e.dramStage[k] = stage
+}
+
+// mergeDRAM enqueues the staged DRAM traffic serially in global slice
+// order. When a controller queue fills, the remainder of that slice's
+// staged requests go back in order (the serial loop's per-slice
+// stop-at-first-failure), and later slices still get their attempt.
+func (e *shardEngine) mergeDRAM() {
+	g := e.g
+	for k := 0; k < e.n; k++ {
+		stage := e.dramStage[k]
+		for i := 0; i < len(stage); {
+			ent := stage[i]
+			if !g.mcs[ent.mc].Enqueue(ent.req) {
+				j := i
+				for j < len(stage) && stage[j].slice == ent.slice {
+					j++
+				}
+				for x := j - 1; x >= i; x-- {
+					g.slices[ent.slice].UnpopDRAMRequest(stage[x].d)
+				}
+				i = j
+				continue
+			}
+			i++
+		}
+		e.dramStage[k] = stage[:0]
+	}
+}
+
+// deliverShard completes the shard's share of reply-net deliveries (phase
+// P4). Per-SM delivery order equals global delivery order restricted to the
+// SM, and CompleteLoad only touches the destination SM, so concurrent
+// delivery is order-equivalent to the serial sweep.
+func (e *shardEngine) deliverShard(k int) {
+	g := e.g
+	for _, p := range e.replyWork[k] {
+		g.sms[p.Dst].CompleteLoad(p.Reply, g.cycle)
+	}
+}
+
+// rebalancePools evens out the per-shard request free-lists (serial, end of
+// cycle). Requests retire into the pool of the answering slice's shard but
+// are re-acquired from the issuing SM's shard pool; with a skewed traffic
+// pattern one pool would otherwise drain — and grow by chunk allocation —
+// every cycle while another hoards. Per-cycle drift is bounded by the
+// per-cycle retirement rate, so this is a handful of pointer moves.
+func (e *shardEngine) rebalancePools() {
+	total := 0
+	for _, p := range e.reqPools {
+		total += p.FreeLen()
+	}
+	target := total / e.n
+	d := 0 // donor index
+	for _, rp := range e.reqPools {
+		for rp.FreeLen() < target {
+			for d < e.n && e.reqPools[d].FreeLen() <= target {
+				d++
+			}
+			if d >= e.n {
+				return
+			}
+			dp := e.reqPools[d]
+			need := target - rp.FreeLen()
+			if surplus := dp.FreeLen() - target; surplus < need {
+				need = surplus
+			}
+			if dp.MoveTo(rp, need) == 0 {
+				return
+			}
+		}
+	}
+}
+
+// stepSharded is the sharded counterpart of step: identical component and
+// traffic ordering, with the SM and LLC work fanned out across the shards.
+func (g *GPU) stepSharded() {
+	e := g.eng
+	stalled := g.reconfigActive || g.cycle < g.stallUntil
+	if stalled {
+		g.stallCycles++
+	}
+
+	// 1. SMs issue instructions. Three sub-phases: parallel scheduler picks
+	//    (P1), a serial op feed consulting the workload program in global
+	//    SM/scheduler order (the program is not safe for concurrent use and
+	//    its op sequence is part of the determinism contract), and parallel
+	//    execution plus request staging (P2) merged serially into the
+	//    request NoC in global SM order.
+	if !stalled {
+		e.parallel(e.fnPlan)
+		for _, s := range g.sms {
+			for sched := 0; sched < s.Schedulers(); sched++ {
+				if w, need := s.PlanNeedsOp(sched); need {
+					s.SupplyOp(sched, g.prog.NextOp(s.ID(), w))
+				}
+			}
+		}
+		e.parallel(e.fnExec)
+	}
+	if !g.reconfigActive {
+		if stalled {
+			// SMs did not tick; drain already-buffered requests exactly as
+			// the serial loop does.
+			g.injectRequests()
+		} else {
+			e.mergeInject()
+		}
+	}
+
+	// 2. Request network delivers to LLC slices (serial: EnqueueRequest is a
+	//    queue push, not worth a barrier).
+	for _, p := range g.reqNet.Tick() {
+		g.slices[p.Dst].EnqueueRequest(p.Req)
+		g.pktPool.Put(p)
+	}
+
+	// 3. LLC slices process requests (P3) and their DRAM traffic merges
+	//    serially in global slice order.
+	e.parallel(e.fnSlices)
+	e.mergeDRAM()
+
+	// 4. DRAM controllers (serial; DRAMComplete can create same-cycle-ready
+	//    replies, so it must precede reply injection, and it releases
+	//    requests into per-shard pools, which is only safe serially).
+	for _, mc := range g.mcs {
+		for _, done := range mc.Tick() {
+			if done.Req.Meta.Fill {
+				g.slices[done.Req.Meta.Slice].DRAMComplete(done.Req.Meta.Addr)
+			}
+		}
+	}
+
+	// 5. LLC replies into the reply network (serial, as in step).
+	g.injectReplies()
+
+	// 6. Reply network delivers to SMs: partition by destination shard and
+	//    complete in parallel (P4) — or inline when the cycle delivered too
+	//    few replies to pay for a barrier. Either way each SM sees its
+	//    replies in global delivery order.
+	delivered := g.repNet.Tick()
+	if len(delivered) < 2*e.n {
+		for _, p := range delivered {
+			g.sms[p.Dst].CompleteLoad(p.Reply, g.cycle)
+			g.pktPool.Put(p)
+		}
+	} else {
+		for _, p := range delivered {
+			k := e.smShard[p.Dst]
+			e.replyWork[k] = append(e.replyWork[k], p)
+		}
+		e.parallel(e.fnDeliver)
+		for k := 0; k < e.n; k++ {
+			for i, p := range e.replyWork[k] {
+				g.pktPool.Put(p)
+				e.replyWork[k][i] = nil
+			}
+			e.replyWork[k] = e.replyWork[k][:0]
+		}
+	}
+
+	// 7. Reconfiguration progress.
+	if g.reconfigActive {
+		g.checkDrain()
+	}
+
+	e.rebalancePools()
+}

@@ -4,11 +4,27 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/pool"
 )
 
+// UseRestorePools directs RestoreState to acquire packets and their carried
+// requests from the given free-lists instead of allocating fresh ones — the
+// single-container ownership invariant makes the two equivalent, and the
+// pooled form keeps checkpoint resumes from re-growing the heap the owning
+// GPU's steady-state loop already paid for. Either pool may be nil.
+func UseRestorePools(n Net, pkts *pool.FreeList[Packet], reqs *pool.FreeList[mem.Request]) {
+	switch net := n.(type) {
+	case *xbarNet:
+		net.restorePkts, net.restoreReqs = pkts, reqs
+	case *idealNet:
+		net.restorePkts, net.restoreReqs = pkts, reqs
+	}
+}
+
 // PacketState mirrors one Packet by value. Req is flattened (HasReq guards
-// nil); on restore both the packet and its request are freshly allocated,
-// which the single-container ownership invariant makes equivalent.
+// nil); on restore both the packet and its request are acquired from the
+// restore pools (or freshly allocated), which the single-container
+// ownership invariant makes equivalent.
 type PacketState struct {
 	ID          uint64
 	Src         int
@@ -40,19 +56,28 @@ func savePacket(p *Packet) PacketState {
 	return st
 }
 
-func restorePacket(st PacketState) *Packet {
-	p := &Packet{
-		ID:          st.ID,
-		Src:         st.Src,
-		Dst:         st.Dst,
-		Flits:       st.Flits,
-		InjectedAt:  st.InjectedAt,
-		DeliveredAt: st.DeliveredAt,
-		Hops:        st.Hops,
-		Reply:       st.Reply,
+func restorePacket(st PacketState, pkts *pool.FreeList[Packet], reqs *pool.FreeList[mem.Request]) *Packet {
+	var p *Packet
+	if pkts != nil {
+		p = pkts.Get()
+	} else {
+		p = &Packet{}
 	}
+	p.ID = st.ID
+	p.Src = st.Src
+	p.Dst = st.Dst
+	p.Flits = st.Flits
+	p.InjectedAt = st.InjectedAt
+	p.DeliveredAt = st.DeliveredAt
+	p.Hops = st.Hops
+	p.Reply = st.Reply
 	if st.HasReq {
-		r := new(mem.Request)
+		var r *mem.Request
+		if reqs != nil {
+			r = reqs.Get()
+		} else {
+			r = new(mem.Request)
+		}
 		*r = st.Req
 		p.Req = r
 	}
@@ -205,7 +230,7 @@ func restoreXbar(n *xbarNet, st NetState) error {
 			q := r.inQs[qi]
 			q.packets.Clear()
 			for _, ps := range qs.Packets {
-				q.packets.PushBack(restorePacket(ps))
+				q.packets.PushBack(restorePacket(ps, n.restorePkts, n.restoreReqs))
 			}
 			q.usedFlits = qs.UsedFlits
 			q.injBusyUntil = qs.InjBusyUntil
@@ -225,7 +250,7 @@ func restoreXbar(n *xbarNet, st NetState) error {
 			}
 			port.inflight = port.inflight[:0]
 			for _, f := range ps.Inflight {
-				port.inflight = append(port.inflight, inflightPkt{p: restorePacket(f.Pkt), arriveAt: f.ArriveAt})
+				port.inflight = append(port.inflight, inflightPkt{p: restorePacket(f.Pkt, n.restorePkts, n.restoreReqs), arriveAt: f.ArriveAt})
 			}
 		}
 	}
@@ -255,7 +280,7 @@ func restoreIdeal(n *idealNet, st NetState) error {
 	}
 	n.inflight = n.inflight[:0]
 	for _, f := range st.Inflight {
-		n.inflight = append(n.inflight, inflightPkt{p: restorePacket(f.Pkt), arriveAt: f.ArriveAt})
+		n.inflight = append(n.inflight, inflightPkt{p: restorePacket(f.Pkt, n.restorePkts, n.restoreReqs), arriveAt: f.ArriveAt})
 	}
 	n.cycle = st.Cycle
 	n.stats = st.Stats

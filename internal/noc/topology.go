@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/pool"
 )
 
 // Direction selects which of the GPU's two unidirectional networks is built.
@@ -358,6 +360,10 @@ type idealNet struct {
 	stats    Stats
 	inflight []inflightPkt
 	out      []*Packet
+
+	// Restore-path free-lists (see UseRestorePools); nil means allocate.
+	restorePkts *pool.FreeList[Packet]
+	restoreReqs *pool.FreeList[mem.Request]
 }
 
 func newIdeal(p Params, dir Direction) *idealNet {

@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/mem"
+	"repro/internal/pool"
 	"repro/internal/ring"
 )
 
@@ -119,6 +121,10 @@ type xbarNet struct {
 
 	inflightCount int
 	delivered     []*Packet // reused scratch slice returned by Tick
+
+	// Restore-path free-lists (see UseRestorePools); nil means allocate.
+	restorePkts *pool.FreeList[Packet]
+	restoreReqs *pool.FreeList[mem.Request]
 }
 
 // Inject implements Net.

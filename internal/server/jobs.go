@@ -80,6 +80,7 @@ type Queue struct {
 	store   *simstore.Store
 	cp      sweep.Checkpointer // nil = cold execution only
 	workers int
+	shards  int // per-run cycle-loop goroutines; <=1 serial
 	ttl     time.Duration // evict terminal jobs older than this (0 = keep)
 	maxJobs int           // hard cap on retained jobs (0 = unbounded)
 	idBase  string        // per-queue random prefix making job IDs cluster-unique
@@ -102,8 +103,11 @@ type Queue struct {
 // exceeds maxJobs (oldest-finished first). Zero disables the respective
 // bound; in-flight and subscribed jobs are never evicted. A non-nil cp makes
 // every executed run checkpoint-assisted (resumed from stored state prefixes
-// where possible; statistics are unaffected).
-func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int, cp sweep.Checkpointer) *Queue {
+// where possible; statistics are unaffected). shards > 1 runs each
+// simulation's cycle loop on that many goroutines (byte-identical
+// statistics, so cache entries are shared with serial execution; it
+// multiplies with workers, so size shards*workers against the core count).
+func NewQueue(store *simstore.Store, workers, shards int, ttl time.Duration, maxJobs int, cp sweep.Checkpointer) *Queue {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -117,6 +121,7 @@ func NewQueue(store *simstore.Store, workers int, ttl time.Duration, maxJobs int
 		store:    store,
 		cp:       cp,
 		workers:  workers,
+		shards:   shards,
 		ttl:      ttl,
 		maxJobs:  maxJobs,
 		idBase:   "j" + hex.EncodeToString(token),
@@ -383,7 +388,14 @@ func (q *Queue) worker() {
 			if !q.begin(j) {
 				continue // cancelled while queued
 			}
-			stats, err := executeSafely(j.spec, q.cp)
+			// Shard the cycle loop on a local copy only: j.spec stays
+			// canonical (shard-blind), matching the fingerprint the store
+			// entry is filed under.
+			spec := j.spec
+			if q.shards > 1 {
+				spec.Config.Shards = q.shards
+			}
+			stats, err := executeSafely(spec, q.cp)
 			if err == nil {
 				// A store write failure degrades caching, not correctness:
 				// the computed statistics are still returned.

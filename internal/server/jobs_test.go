@@ -16,7 +16,7 @@ func newTestQueue(t *testing.T, workers int, ttl time.Duration, maxJobs int) *Qu
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(store, workers, ttl, maxJobs, nil)
+	q := NewQueue(store, workers, 1, ttl, maxJobs, nil)
 	t.Cleanup(q.Close)
 	return q
 }
@@ -135,7 +135,7 @@ func TestCloseClosesSubscribersExactlyOnce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := NewQueue(store, 1, 0, 0, nil)
+	q := NewQueue(store, 1, 1, 0, 0, nil)
 
 	jobs := make([]*Job, 8)
 	for i := range jobs {
