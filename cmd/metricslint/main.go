@@ -1,0 +1,75 @@
+// Command metricslint validates Prometheus text exposition against the
+// internal/obs format rules: every series under a HELP/TYPE header, counter
+// names ending in _total with non-negative values, histograms cumulative
+// with a +Inf bucket matching _count, no duplicate series.
+//
+//	curl -s localhost:8404/metrics | metricslint
+//	metricslint -url http://localhost:8404/metrics
+//	metricslint exposition.txt
+//
+// Exit status 0 means the input is well-formed; 1 lists every violation on
+// stderr. The CI obs-smoke job runs it against a live daemon scrape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	urlFlag := flag.String("url", "", "scrape this URL instead of reading a file or stdin")
+	flag.Parse()
+
+	var (
+		data []byte
+		err  error
+		src  string
+	)
+	switch {
+	case *urlFlag != "":
+		src = *urlFlag
+		resp, herr := http.Get(*urlFlag)
+		if herr != nil {
+			fmt.Fprintf(os.Stderr, "metricslint: %v\n", herr)
+			return 1
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "metricslint: %s answered %s\n", *urlFlag, resp.Status)
+			return 1
+		}
+		data, err = io.ReadAll(resp.Body)
+	case flag.NArg() > 0:
+		src = flag.Arg(0)
+		data, err = os.ReadFile(flag.Arg(0))
+	default:
+		src = "stdin"
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricslint: %v\n", err)
+		return 1
+	}
+	if len(data) == 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: empty exposition\n", src)
+		return 1
+	}
+
+	errs := obs.Lint(string(data))
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %v\n", src, e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "metricslint: %s: %d violations\n", src, len(errs))
+		return 1
+	}
+	fmt.Printf("metricslint: %s: ok\n", src)
+	return 0
+}

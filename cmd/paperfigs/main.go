@@ -42,6 +42,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
@@ -70,6 +71,7 @@ func run() int {
 		serverFlag     = flag.String("server", "", "farm figure generation out to simd daemon(s) at this comma-separated base URL list (e.g. http://127.0.0.1:8404,http://127.0.0.1:8405); requests route to each run's cluster owner and fail over past dead peers; -parallel/-workers then apply server-side")
 		checkpointsOn  = flag.Bool("checkpoints", false, "resume runs from checkpointed state prefixes (shared warmups, kernel boundaries) stored under -checkpoint-dir, and bank new ones; output is byte-identical, only wall-clock time changes")
 		checkpointDir  = flag.String("checkpoint-dir", ".repro-checkpoints", "directory of the checkpoint store used by -checkpoints")
+		traceOut       = flag.String("trace-out", "", "write a Chrome trace-event JSON of every run's lifecycle phases (checkpoint probe, warmup, kernel segments, measure) to this file; load it in Perfetto or chrome://tracing. Local execution only")
 		scenariosFlag  = flag.String("scenarios", "", "run scenario recipes instead of figures: a level (\"level1\" runs levels up to 1), \"all\", or comma-separated names; always determinism-gated, exit 1 on any invariant violation")
 		listScenarios  = flag.Bool("list-scenarios", false, "list the scenario catalog (name, level, axes, figures) and exit")
 		scenarioMatrix = flag.Bool("scenario-matrix", false, "print the generated scenario × figure support matrix and exit")
@@ -175,6 +177,27 @@ func run() int {
 			return 1
 		}
 		return runScenarios(*scenariosFlag, workers, *shardsFlag, *cyclesFlag, *warmupFlag, *seedFlag, showProgress)
+	}
+
+	// Run-lifecycle tracing wraps the local executor; with -server the
+	// daemon executes and serves per-job timelines itself.
+	var traces *obs.TraceSet
+	if *traceOut != "" {
+		if *serverFlag != "" {
+			fmt.Fprintln(os.Stderr, "paperfigs: -trace-out applies to local execution; use the simd /v1/jobs/{id}/timeline endpoint for remote runs")
+			return 1
+		}
+		// Open up front so a bad path fails before hours of simulation.
+		probe, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -trace-out: %v\n", err)
+			return 1
+		}
+		probe.Close()
+		traces = obs.NewTraceSet()
+		opt.TraceFor = func(key string) *obs.Span {
+			return traces.New(key).Start("run")
+		}
 	}
 
 	// Checkpointing accelerates the local executor; with -server the daemon
@@ -348,6 +371,14 @@ func run() int {
 	if baselinesDirty {
 		saveShardBaselines(shardBaselinePath, baselines)
 	}
+	if traces != nil {
+		if err := writeChromeTrace(*traceOut, traces); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: -trace-out: %v\n", err)
+			failed++
+		} else {
+			fmt.Printf("[trace: %d runs written to %s]\n", traces.Len(), *traceOut)
+		}
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "paperfigs: %d of %d requested figures failed\n", failed, len(selected))
 		return 1
@@ -460,6 +491,20 @@ func saveShardBaselines(path string, m map[string]float64) {
 		return
 	}
 	_ = os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// writeChromeTrace renders the collected run traces as Chrome trace-event
+// JSON at path.
+func writeChromeTrace(path string, traces *obs.TraceSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = traces.WriteChrome(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // progressLine is the one in-place stderr progress format, shared by local

@@ -36,8 +36,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,8 +65,23 @@ func run() int {
 		maxJobsFlag = flag.Int("max-jobs", server.DefaultMaxJobs, "max finished jobs retained in memory (0 = unbounded)")
 		peersFlag   = flag.String("peers", "", "comma-separated base URLs of every cluster member, this daemon included (enables fingerprint-sharded routing)")
 		selfFlag    = flag.String("self", "", "this daemon's advertised base URL within -peers (default: http://<resolved listen address>)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this separate address (e.g. 127.0.0.1:6060); empty disables them")
+		compatFlag  = flag.Bool("metrics-compat", false, "additionally export pre-rename metric series (simd_checkpoint_hits and friends without the _total suffix) for unmigrated dashboards")
+		logFormat   = flag.String("log-format", "text", "structured access-log format on stderr: text, json, or off")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+	default:
+		fmt.Fprintf(os.Stderr, "simd: -log-format %q (want text, json, or off)\n", *logFormat)
+		return 1
+	}
 
 	store, err := simstore.Open(*storeFlag, simstore.Options{MaxEntries: *maxFlag, MaxBytes: *maxBytes})
 	if err != nil {
@@ -86,14 +103,16 @@ func run() int {
 	peers := cluster.ParsePeers(*peersFlag)
 
 	srv, err := server.New(server.Config{
-		Store:       store,
-		Workers:     *workersFlag,
-		Shards:      *shardsFlag,
-		JobTTL:      *jobTTLFlag,
-		MaxJobs:     *maxJobsFlag,
-		Checkpoints: *ckptFlag,
-		Self:        self,
-		Peers:       peers,
+		Store:         store,
+		Workers:       *workersFlag,
+		Shards:        *shardsFlag,
+		JobTTL:        *jobTTLFlag,
+		MaxJobs:       *maxJobsFlag,
+		Checkpoints:   *ckptFlag,
+		Self:          self,
+		Peers:         peers,
+		MetricsCompat: *compatFlag,
+		Logger:        logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
@@ -109,6 +128,26 @@ func run() int {
 	}
 	fmt.Printf("simd: listening on http://%s (store %s, %d entries, %d workers%s)\n",
 		ln.Addr(), store.Dir(), store.Len(), srv.Workers(), clusterNote)
+
+	// The pprof endpoints expose goroutine/heap/CPU internals, so they live
+	// on their own opt-in listener (typically loopback-only), never on the
+	// service address. Registration is explicit — the service mux must not
+	// inherit anything from http.DefaultServeMux.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simd: -debug-addr: %v\n", err)
+			return 1
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("simd: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, dmux)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -3,8 +3,10 @@ package checkpoint
 import (
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/simstore"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -26,9 +28,17 @@ type Manager struct {
 	saves  atomic.Uint64
 	bytes  atomic.Uint64
 	errors atomic.Uint64
+
+	// Timing instruments, registered by Instrument; nil (no-op) otherwise.
+	probeSeconds   *obs.Histogram
+	restoreSeconds *obs.Histogram
+	saveSeconds    *obs.Histogram
 }
 
-var _ sweep.Checkpointer = (*Manager)(nil)
+var (
+	_ sweep.Checkpointer        = (*Manager)(nil)
+	_ sweep.SpannedCheckpointer = (*Manager)(nil)
+)
 
 // NewManager wraps a store with checkpoint semantics.
 func NewManager(store *simstore.Store) *Manager {
@@ -52,6 +62,18 @@ func (m *Manager) ManagerStats() Stats {
 		Bytes:  m.bytes.Load(),
 		Errors: m.errors.Load(),
 	}
+}
+
+// Instrument registers the manager's timing histograms: how long prefix
+// probing, state restoration and snapshot saving take. The hit/save/error
+// counters stay in ManagerStats (the server samples them at scrape time).
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.probeSeconds = reg.Histogram("simd_checkpoint_probe_seconds",
+		"Time spent probing the store for a resumable state prefix.", nil)
+	m.restoreSeconds = reg.Histogram("simd_checkpoint_restore_seconds",
+		"Time spent decoding and restoring a GPU from a stored snapshot.", nil)
+	m.saveSeconds = reg.Histogram("simd_checkpoint_save_seconds",
+		"Time spent encoding and storing a GPU state snapshot.", nil)
 }
 
 // candidate is one stored prefix a run could resume from.
@@ -87,11 +109,33 @@ func (m *Manager) candidates(spec sweep.RunSpec) ([]candidate, error) {
 
 // Resume implements sweep.Checkpointer.
 func (m *Manager) Resume(spec sweep.RunSpec, newProg func() (workload.Program, error)) (*gpu.GPU, workload.Program, int, bool) {
+	return m.ResumeSpanned(spec, newProg, nil)
+}
+
+// ResumeSpanned implements sweep.SpannedCheckpointer: Resume with the probe
+// phase (key derivation + blob lookups) and the restore phase (decode +
+// program build + state restoration) recorded as distinct child spans of sp
+// and observed into the timing histograms. A nil sp records no spans.
+func (m *Manager) ResumeSpanned(spec sweep.RunSpec, newProg func() (workload.Program, error), sp *obs.Span) (*gpu.GPU, workload.Program, int, bool) {
+	probeStart := time.Now()
+	probe := sp.Child("checkpoint-probe")
+	probeEnded := false
+	endProbe := func(hit bool) {
+		if probeEnded {
+			return
+		}
+		probeEnded = true
+		probe.Annotate("hit", hit)
+		probe.End()
+		m.probeSeconds.ObserveSince(probeStart)
+	}
+
 	cands, err := m.candidates(spec)
 	if err != nil {
 		// The spec's trace file is unreadable; the cold path will surface
 		// the same error to the caller.
 		m.errors.Add(1)
+		endProbe(false)
 		return nil, nil, 0, false
 	}
 	for _, c := range cands {
@@ -107,9 +151,18 @@ func (m *Manager) Resume(spec sweep.RunSpec, newProg func() (workload.Program, e
 			m.errors.Add(1)
 			continue
 		}
+		// A decodable snapshot commits us to the restore phase.
+		probe.Annotate("at_kernel", c.atKernel)
+		endProbe(true)
+		restoreStart := time.Now()
+		restore := sp.Child("checkpoint-restore")
+		restore.Annotate("at_kernel", c.atKernel)
 		prog, err := newProg()
 		if err != nil {
 			m.errors.Add(1)
+			restore.Annotate("error", err.Error())
+			restore.End()
+			m.restoreSeconds.ObserveSince(restoreStart)
 			return nil, nil, 0, false
 		}
 		g, err := Restore(spec.Config, prog, snap)
@@ -122,11 +175,17 @@ func (m *Manager) Resume(spec sweep.RunSpec, newProg func() (workload.Program, e
 			}
 			m.store.DropBlob(c.key)
 			m.errors.Add(1)
+			restore.Annotate("error", err.Error())
+			restore.End()
+			m.restoreSeconds.ObserveSince(restoreStart)
 			continue
 		}
 		m.hits.Add(1)
+		restore.End()
+		m.restoreSeconds.ObserveSince(restoreStart)
 		return g, prog, c.atKernel, true
 	}
+	endProbe(false)
 	return nil, nil, 0, false
 }
 
@@ -150,6 +209,8 @@ func (m *Manager) Checkpoint(spec sweep.RunSpec, g *gpu.GPU, atKernel int) {
 	if m.store.HasBlob(key) {
 		return
 	}
+	saveStart := time.Now()
+	defer func() { m.saveSeconds.ObserveSince(saveStart) }()
 	snap, err := Save(g)
 	if err != nil {
 		m.errors.Add(1)

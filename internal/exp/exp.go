@@ -17,6 +17,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/gpu"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -81,6 +82,12 @@ type Options struct {
 	// unaffected; only wall-clock time changes. cmd/paperfigs wires this to
 	// a directory store via -checkpoints.
 	Checkpointer sweep.Checkpointer
+
+	// TraceFor, when non-nil (and Exec is unset), is asked for a parent
+	// span per declared run; the sweep engine records each run's lifecycle
+	// phases under it. cmd/paperfigs wires this to an obs.TraceSet via
+	// -trace-out. Must be safe for concurrent calls.
+	TraceFor func(key string) *obs.Span
 }
 
 // DefaultOptions returns the scale used by the committed experiment results.
@@ -153,7 +160,7 @@ func (o Options) runAll(specs []sweep.RunSpec) (map[string]gpu.RunStats, error) 
 				specs[i].Checkpoint = true
 			}
 		}
-		exec = &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress, Checkpointer: o.Checkpointer}
+		exec = &sweep.Runner{Workers: o.Workers, OnProgress: o.Progress, Checkpointer: o.Checkpointer, TraceFor: o.TraceFor}
 	}
 	results, err := exec.Run(context.Background(), specs)
 	if err != nil {

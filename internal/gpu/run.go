@@ -150,6 +150,7 @@ func (g *GPU) runLoop(cycles uint64, kernels int) {
 // loopUntil advances the simulation until `end`, firing kernel boundaries on
 // the schedule given by kernelLen/nextKernel (relative to g.runStart).
 func (g *GPU) loopUntil(end, kernelLen, nextKernel uint64, onBoundary func(m int)) {
+	loopStart := g.cycle
 	if g.eng != nil {
 		// The sharded engine's workers live for the duration of the loop:
 		// spawned once here, synchronized per cycle by a spin barrier, and
@@ -202,6 +203,9 @@ func (g *GPU) loopUntil(end, kernelLen, nextKernel uint64, onBoundary func(m int
 			onBoundary(boundary)
 		}
 	}
+	// One atomic add per loop entry, not per cycle: the cycle-throughput
+	// telemetry costs nothing on the hot path and never touches RunStats.
+	g.countLoopCycles(g.cycle - loopStart)
 }
 
 // step advances every component by one cycle.

@@ -154,7 +154,7 @@ func (e *shardEngine) stop() {
 
 func (e *shardEngine) worker(k int, last uint32) {
 	for {
-		last = e.awaitGen(last)
+		last = e.awaitGen(last, k)
 		fn := e.fn
 		if fn == nil {
 			atomic.AddInt32(&e.pending, -1)
@@ -204,10 +204,15 @@ func (e *shardEngine) parallel(fn func(int)) {
 // awaitGen spins until the barrier generation moves past `last`. The first
 // iterations spin hot (phase hand-offs are sub-microsecond on a busy
 // multicore); after that every iteration yields so oversubscribed hosts
-// (shards > GOMAXPROCS) keep making progress.
-func (e *shardEngine) awaitGen(last uint32) uint32 {
+// (shards > GOMAXPROCS) keep making progress. The iterations spent waiting
+// accumulate into shard k's telemetry slot with a single atomic add on
+// exit — the wait loop itself touches no shared counter.
+func (e *shardEngine) awaitGen(last uint32, k int) uint32 {
 	for i := 0; ; i++ {
 		if gen := atomic.LoadUint32(&e.gen); gen != last {
+			if i > 0 {
+				barrierSpins[k%MaxTelemetryShards].v.Add(uint64(i))
+			}
 			return gen
 		}
 		if i > 128 {
@@ -216,9 +221,14 @@ func (e *shardEngine) awaitGen(last uint32) uint32 {
 	}
 }
 
+// awaitPending is the coordinator's half of the barrier; its waits count
+// against shard slot 0 (the coordinator runs shard 0's work inline).
 func (e *shardEngine) awaitPending() {
 	for i := 0; ; i++ {
 		if atomic.LoadInt32(&e.pending) == 0 {
+			if i > 0 {
+				barrierSpins[0].v.Add(uint64(i))
+			}
 			return
 		}
 		if i > 128 {

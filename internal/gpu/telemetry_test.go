@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// The process-wide telemetry counters must advance with the cycle loop —
+// and must not perturb the simulation: stats stay byte-identical whether
+// or not anyone reads them (they never enter RunStats at all).
+func TestTelemetryCountsCycles(t *testing.T) {
+	spec, ok := workload.ByAbbr("VA")
+	if !ok {
+		t.Fatal("unknown benchmark VA")
+	}
+
+	newGPU := func(shards int) *GPU {
+		cfg := config.Baseline()
+		cfg.Shards = shards
+		gen, err := workload.NewGenerator(spec, cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := New(cfg, gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	before := ReadTelemetry()
+	newGPU(1).runLoop(2_000, 1)
+	afterSerial := ReadTelemetry()
+	if got := afterSerial.SerialCycles - before.SerialCycles; got < 2_000 {
+		t.Errorf("serial cycle counter advanced by %d, want >= 2000", got)
+	}
+
+	spinsBefore := BarrierSpins(1)
+	newGPU(2).runLoop(2_000, 1)
+	afterSharded := ReadTelemetry()
+	if got := afterSharded.ShardedCycles - afterSerial.ShardedCycles; got < 2_000 {
+		t.Errorf("sharded cycle counter advanced by %d, want >= 2000", got)
+	}
+	if afterSharded.SerialCycles != afterSerial.SerialCycles {
+		t.Error("sharded run advanced the serial counter")
+	}
+	// The 2-shard barrier is crossed several times per cycle; shard 1 must
+	// have recorded wait iterations.
+	if BarrierSpins(1) == spinsBefore {
+		t.Error("shard 1 barrier-spin counter did not advance during a 2-shard run")
+	}
+}

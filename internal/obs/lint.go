@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates Prometheus text exposition format the way promlint does:
+// every line must parse, every sample series must be preceded by HELP/TYPE
+// metadata for its family, no series (name + label set) may appear twice,
+// counters must end in _total, and histogram bucket series must be
+// cumulative with a +Inf bucket matching _count. A nil return means the
+// text passed.
+//
+// cmd/metricslint wraps this for shell use; internal/server's tests run it
+// against a live /metrics scrape.
+func Lint(exposition string) []error {
+	var errs []error
+	addf := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	type familyMeta struct {
+		typ     string
+		hasHelp bool
+	}
+	families := make(map[string]*familyMeta)
+	seen := make(map[string]int) // rendered series signature -> first line
+	// histKey (name + non-le labels) -> le -> value, plus counts/sums
+	type histState struct {
+		line    int
+		buckets map[string]float64
+		count   float64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(strings.NewReader(exposition))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					addf(lineNo, "malformed %s comment", fields[1])
+				}
+				continue // other comments are legal and ignored
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				addf(lineNo, "invalid metric name %q in %s", name, fields[1])
+				continue
+			}
+			fm := families[name]
+			if fm == nil {
+				fm = &familyMeta{}
+				families[name] = fm
+			}
+			switch fields[1] {
+			case "HELP":
+				if fm.hasHelp {
+					addf(lineNo, "second HELP for %q", name)
+				}
+				fm.hasHelp = true
+			case "TYPE":
+				if fm.typ != "" {
+					addf(lineNo, "second TYPE for %q", name)
+					continue
+				}
+				if len(fields) < 4 {
+					addf(lineNo, "TYPE for %q missing type", name)
+					continue
+				}
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf(lineNo, "unknown TYPE %q for %q", typ, name)
+					continue
+				}
+				if typ == "counter" && !strings.HasSuffix(name, "_total") {
+					addf(lineNo, "counter %q should end in _total", name)
+				}
+				fm.typ = typ
+			}
+			continue
+		}
+
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			addf(lineNo, "%v", perr)
+			continue
+		}
+		sig := name + renderLabels(labels)
+		if first, dup := seen[sig]; dup {
+			addf(lineNo, "duplicate series %s (first at line %d)", sig, first)
+		} else {
+			seen[sig] = lineNo
+		}
+
+		// Find the declaring family: exact name, or histogram/summary
+		// sub-series via suffix stripping.
+		famName := name
+		fm := families[famName]
+		if fm == nil {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, suf); ok {
+					if bfm := families[base]; bfm != nil && (bfm.typ == "histogram" || bfm.typ == "summary") {
+						famName, fm = base, bfm
+						break
+					}
+				}
+			}
+		}
+		if fm == nil {
+			addf(lineNo, "series %s has no TYPE metadata", name)
+			continue
+		}
+		if !fm.hasHelp {
+			addf(lineNo, "series %s has no HELP metadata", name)
+			fm.hasHelp = true // report once per family
+		}
+		if fm.typ == "counter" && value < 0 {
+			addf(lineNo, "counter %s has negative value %g", name, value)
+		}
+
+		if fm.typ == "histogram" {
+			var nonLE []string
+			le := ""
+			for _, l := range labels {
+				if strings.HasPrefix(l, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(l, `le="`), `"`)
+				} else {
+					nonLE = append(nonLE, l)
+				}
+			}
+			hk := famName + renderLabels(nonLE)
+			hs := hists[hk]
+			if hs == nil {
+				hs = &histState{line: lineNo, buckets: make(map[string]float64)}
+				hists[hk] = hs
+			}
+			switch {
+			case name == famName+"_bucket":
+				if le == "" {
+					addf(lineNo, "histogram bucket %s missing le label", name)
+				} else {
+					hs.buckets[le] = value
+				}
+			case name == famName+"_count":
+				hs.count, hs.hasCnt = value, true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("scan: %v", err))
+	}
+
+	// Cross-line histogram checks: buckets cumulative, +Inf present and
+	// equal to _count.
+	hkeys := make([]string, 0, len(hists))
+	for k := range hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, hk := range hkeys {
+		hs := hists[hk]
+		inf, hasInf := hs.buckets["+Inf"]
+		if !hasInf {
+			errs = append(errs, fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", hk))
+			continue
+		}
+		if hs.hasCnt && inf != hs.count {
+			errs = append(errs, fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", hk, inf, hs.count))
+		}
+		type bb struct {
+			le string
+			ub float64
+			v  float64
+		}
+		var bounds []bb
+		for le, v := range hs.buckets {
+			if le == "+Inf" {
+				bounds = append(bounds, bb{le, math.Inf(1), v})
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("histogram %s: unparseable le %q", hk, le))
+				continue
+			}
+			bounds = append(bounds, bb{le, ub, v})
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i].ub < bounds[j].ub })
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i].v < bounds[i-1].v {
+				errs = append(errs, fmt.Errorf("histogram %s: bucket le=%q count %g < le=%q count %g (not cumulative)",
+					hk, bounds[i].le, bounds[i].v, bounds[i-1].le, bounds[i-1].v))
+			}
+		}
+	}
+	return errs
+}
+
+// parseSample parses `name{a="b",...} value [timestamp]`, returning the
+// rendered labels in sorted order for a canonical series signature.
+func parseSample(line string) (name string, labels []string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !nameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		if body != "" {
+			for _, pair := range splitLabels(body) {
+				eq := strings.Index(pair, "=")
+				if eq <= 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+					return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+				}
+				lname := pair[:eq]
+				if !labelRe.MatchString(lname) {
+					return "", nil, 0, fmt.Errorf("invalid label name %q", lname)
+				}
+				labels = append(labels, pair)
+			}
+		}
+		sort.Strings(labels)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value after %q", name)
+	}
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(body string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(body); i++ {
+		switch {
+		case inQuote && body[i] == '\\':
+			i++
+		case body[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && body[i] == ',':
+			out = append(out, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}

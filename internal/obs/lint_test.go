@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintErrs(t *testing.T, text string) []error {
+	t.Helper()
+	return Lint(text)
+}
+
+func wantLintError(t *testing.T, text, substr string) {
+	t.Helper()
+	errs := Lint(text)
+	for _, e := range errs {
+		if strings.Contains(e.Error(), substr) {
+			return
+		}
+	}
+	t.Errorf("expected a lint error containing %q, got %v", substr, errs)
+}
+
+func TestLintAcceptsWellFormedExposition(t *testing.T) {
+	text := `# HELP simd_jobs_total Jobs.
+# TYPE simd_jobs_total counter
+simd_jobs_total 4
+# HELP simd_depth Queue depth.
+# TYPE simd_depth gauge
+simd_depth 2
+# HELP simd_lat_seconds Latency.
+# TYPE simd_lat_seconds histogram
+simd_lat_seconds_bucket{le="0.1"} 1
+simd_lat_seconds_bucket{le="+Inf"} 3
+simd_lat_seconds_sum 4.2
+simd_lat_seconds_count 3
+`
+	if errs := lintErrs(t, text); errs != nil {
+		t.Fatalf("well-formed exposition rejected: %v", errs)
+	}
+}
+
+func TestLintMissingMetadata(t *testing.T) {
+	wantLintError(t, "simd_orphan 1\n", "no TYPE metadata")
+	wantLintError(t, "# TYPE simd_x gauge\nsimd_x 1\n", "no HELP metadata")
+}
+
+func TestLintDuplicateSeries(t *testing.T) {
+	text := `# HELP simd_x gauge x
+# TYPE simd_x gauge
+simd_x 1
+simd_x 2
+`
+	wantLintError(t, text, "duplicate series")
+	// Same name, different labels: not a duplicate. Label order must not
+	// matter for the signature.
+	ok := `# HELP simd_y y
+# TYPE simd_y gauge
+simd_y{a="1",b="2"} 1
+simd_y{b="2",a="3"} 1
+`
+	if errs := lintErrs(t, ok); errs != nil {
+		t.Errorf("distinct label sets flagged: %v", errs)
+	}
+	dup := `# HELP simd_z z
+# TYPE simd_z gauge
+simd_z{a="1",b="2"} 1
+simd_z{b="2",a="1"} 1
+`
+	wantLintError(t, dup, "duplicate series")
+}
+
+func TestLintCounterNaming(t *testing.T) {
+	wantLintError(t, "# HELP simd_runs c\n# TYPE simd_runs counter\nsimd_runs 1\n", "should end in _total")
+	wantLintError(t, "# HELP simd_neg_total c\n# TYPE simd_neg_total counter\nsimd_neg_total -1\n", "negative value")
+}
+
+func TestLintHistogramInvariants(t *testing.T) {
+	noInf := `# HELP simd_h h
+# TYPE simd_h histogram
+simd_h_bucket{le="1"} 2
+simd_h_sum 1
+simd_h_count 2
+`
+	wantLintError(t, noInf, `no le="+Inf" bucket`)
+
+	notCumulative := `# HELP simd_h h
+# TYPE simd_h histogram
+simd_h_bucket{le="1"} 5
+simd_h_bucket{le="2"} 3
+simd_h_bucket{le="+Inf"} 5
+simd_h_sum 1
+simd_h_count 5
+`
+	wantLintError(t, notCumulative, "not cumulative")
+
+	infMismatch := `# HELP simd_h h
+# TYPE simd_h histogram
+simd_h_bucket{le="+Inf"} 4
+simd_h_count 5
+`
+	wantLintError(t, infMismatch, "!= _count")
+}
+
+func TestLintMalformedLines(t *testing.T) {
+	wantLintError(t, "# HELP simd_x x\n# TYPE simd_x gauge\nsimd_x{a=b} 1\n", "malformed label")
+	wantLintError(t, "# HELP simd_x x\n# TYPE simd_x gauge\nsimd_x notanumber\n", "bad value")
+	wantLintError(t, "# TYPE simd_x wat\nsimd_x 1\n", "unknown TYPE")
+	wantLintError(t, "# HELP simd_x x\n# TYPE simd_x gauge\n# TYPE simd_x gauge\nsimd_x 1\n", "second TYPE")
+}
+
+func TestLintSpecialValues(t *testing.T) {
+	text := `# HELP simd_x x
+# TYPE simd_x gauge
+simd_x{k="v"} +Inf
+`
+	if errs := lintErrs(t, text); errs != nil {
+		t.Errorf("+Inf value rejected: %v", errs)
+	}
+}

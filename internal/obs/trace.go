@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed segment of a run's lifecycle (queue wait, checkpoint
+// probe, warmup, a kernel's measure segment, store write, a cluster forward
+// hop...). Spans form a tree via Child. All methods are nil-receiver safe,
+// so instrumented code paths need no "is tracing on?" branches.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int // 0 = root
+	name   string
+	start  time.Time
+	endNS  atomic.Int64 // monotonic ns since trace epoch; 0 = still open
+
+	mu    sync.Mutex
+	attrs map[string]any
+}
+
+// Trace collects the spans of one logical operation (one job, one run).
+type Trace struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	next  int
+	spans []*Span
+}
+
+// NewTrace starts an empty trace whose span offsets are relative to now.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now()}
+}
+
+func (t *Trace) newSpan(name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	sp := &Span{tr: t, id: t.next, parent: parent, name: name, start: time.Now()}
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Start opens a root span.
+func (t *Trace) Start(name string) *Span { return t.newSpan(name, 0) }
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.newSpan(name, s.id)
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.endNS.CompareAndSwap(0, int64(time.Since(s.tr.epoch)))
+}
+
+// Annotate attaches a key/value attribute to the span.
+func (s *Span) Annotate(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SpanJSON is one node of a rendered span tree. Durations are microseconds;
+// Start is microseconds since the trace epoch. Open spans report a duration
+// up to the snapshot instant with "open": true.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	StartUS  int64          `json:"start_us"`
+	DurUS    int64          `json:"dur_us"`
+	Open     bool           `json:"open,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []*SpanJSON    `json:"children,omitempty"`
+}
+
+// Snapshot renders the trace's span tree. Safe to call while spans are
+// still being recorded.
+func (t *Trace) Snapshot() []*SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+
+	nowNS := int64(time.Since(t.epoch))
+	nodes := make(map[int]*SpanJSON, len(spans))
+	var roots []*SpanJSON
+	for _, sp := range spans {
+		startNS := int64(sp.start.Sub(t.epoch))
+		endNS := sp.endNS.Load()
+		open := endNS == 0
+		if open {
+			endNS = nowNS
+		}
+		sp.mu.Lock()
+		var attrs map[string]any
+		if len(sp.attrs) > 0 {
+			attrs = make(map[string]any, len(sp.attrs))
+			for k, v := range sp.attrs {
+				attrs[k] = v
+			}
+		}
+		sp.mu.Unlock()
+		nodes[sp.id] = &SpanJSON{
+			Name:    sp.name,
+			StartUS: startNS / 1e3,
+			DurUS:   (endNS - startNS) / 1e3,
+			Open:    open,
+			Attrs:   attrs,
+		}
+	}
+	// spans slice is in creation order, so parents precede children.
+	for _, sp := range spans {
+		n := nodes[sp.id]
+		if p, ok := nodes[sp.parent]; ok {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// TraceSet collects the traces of many parallel operations (one per run of
+// a sweep) for a combined Chrome trace-event export.
+type TraceSet struct {
+	mu     sync.Mutex
+	names  []string
+	traces []*Trace
+}
+
+// NewTraceSet returns an empty collector.
+func NewTraceSet() *TraceSet { return &TraceSet{} }
+
+// New registers and returns a fresh trace under the given display name.
+func (ts *TraceSet) New(name string) *Trace {
+	if ts == nil {
+		return nil
+	}
+	t := NewTrace()
+	ts.mu.Lock()
+	ts.names = append(ts.names, name)
+	ts.traces = append(ts.traces, t)
+	ts.mu.Unlock()
+	return t
+}
+
+// Len reports how many traces were registered.
+func (ts *TraceSet) Len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.traces)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format's traceEvents
+// array (the JSON Perfetto and chrome://tracing load).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders every collected trace as Chrome trace-event JSON:
+// one thread (tid) per trace, named after the trace, with each span an
+// "X" complete event. Timestamps are microseconds relative to the earliest
+// trace epoch, so parallel runs line up on a shared wall-clock axis.
+func (ts *TraceSet) WriteChrome(w io.Writer) error {
+	ts.mu.Lock()
+	names := append([]string(nil), ts.names...)
+	traces := append([]*Trace(nil), ts.traces...)
+	ts.mu.Unlock()
+
+	var epoch time.Time
+	for _, t := range traces {
+		if epoch.IsZero() || t.epoch.Before(epoch) {
+			epoch = t.epoch
+		}
+	}
+
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i, t := range traces {
+		tid := i + 1
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": names[i]},
+		})
+		baseUS := t.epoch.Sub(epoch).Microseconds()
+		t.mu.Lock()
+		spans := append([]*Span(nil), t.spans...)
+		t.mu.Unlock()
+		for _, sp := range spans {
+			startNS := int64(sp.start.Sub(t.epoch))
+			endNS := sp.endNS.Load()
+			if endNS == 0 {
+				endNS = int64(time.Since(t.epoch))
+			}
+			sp.mu.Lock()
+			var args map[string]any
+			if len(sp.attrs) > 0 {
+				args = make(map[string]any, len(sp.attrs))
+				for k, v := range sp.attrs {
+					args[fmt.Sprint(k)] = v
+				}
+			}
+			sp.mu.Unlock()
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: sp.name, Ph: "X",
+				TS:  baseUS + startNS/1e3,
+				Dur: max64((endNS-startNS)/1e3, 1),
+				PID: 1, TID: tid,
+				Args: args,
+			})
+		}
+	}
+	// Stable output: metadata first, then events by (tid, ts).
+	sort.SliceStable(out.TraceEvents, func(i, j int) bool {
+		a, b := out.TraceEvents[i], out.TraceEvents[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.TS < b.TS
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

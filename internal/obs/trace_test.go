@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeSnapshot(t *testing.T) {
+	tr := NewTrace()
+	run := tr.Start("run")
+	warm := run.Child("warmup")
+	warm.Annotate("cycles", 1000)
+	time.Sleep(2 * time.Millisecond)
+	warm.End()
+	meas := run.Child("measure")
+	k0 := meas.Child("kernel-0")
+	k0.End()
+	meas.End()
+	run.End()
+
+	roots := tr.Snapshot()
+	if len(roots) != 1 || roots[0].Name != "run" {
+		t.Fatalf("want one root span 'run', got %+v", roots)
+	}
+	r := roots[0]
+	if len(r.Children) != 2 || r.Children[0].Name != "warmup" || r.Children[1].Name != "measure" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	if r.Children[0].DurUS < 1000 {
+		t.Errorf("warmup dur_us = %d, want >= 1000 (slept 2ms)", r.Children[0].DurUS)
+	}
+	if got := r.Children[0].Attrs["cycles"]; got != 1000 {
+		t.Errorf("warmup attrs = %v", r.Children[0].Attrs)
+	}
+	if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "kernel-0" {
+		t.Errorf("measure children = %+v", r.Children[1].Children)
+	}
+	if r.Open {
+		t.Error("ended root reported open")
+	}
+	// Snapshot must marshal cleanly (it backs /v1/jobs/{id}/timeline).
+	if _, err := json.Marshal(roots); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestOpenSpansReportedOpen(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Start("pending")
+	roots := tr.Snapshot()
+	if len(roots) != 1 || !roots[0].Open {
+		t.Fatalf("open span not flagged: %+v", roots)
+	}
+	sp.End()
+	end1 := sp.endNS.Load()
+	sp.End() // second End keeps first timestamp
+	if sp.endNS.Load() != end1 {
+		t.Error("double End moved the end time")
+	}
+}
+
+func TestNilTraceAndSpanSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.Annotate("k", "v")
+	child := sp.Child("y")
+	child.End()
+	sp.End()
+	if tr.Snapshot() != nil {
+		t.Error("nil trace snapshot should be nil")
+	}
+	var ts *TraceSet
+	if ts.New("t") != nil || ts.Len() != 0 {
+		t.Error("nil TraceSet should no-op")
+	}
+}
+
+func TestChromeTraceOutput(t *testing.T) {
+	ts := NewTraceSet()
+	t1 := ts.New("run VA")
+	sp := t1.Start("measure")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	t2 := ts.New("run MM")
+	sp2 := t2.Start("warmup")
+	sp2.End()
+
+	var buf bytes.Buffer
+	if err := ts.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  *int           `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var meta, complete int
+	names := map[string]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.TS == nil || ev.PID == nil {
+			t.Fatalf("event missing required ts/pid keys: %+v", ev)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" {
+				t.Errorf("metadata event name = %q", ev.Name)
+			}
+			names[ev.Args["name"].(string)] = true
+		case "X":
+			complete++
+			if ev.Dur < 1 {
+				t.Errorf("complete event %q has dur %d < 1", ev.Name, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 2 {
+		t.Errorf("got %d metadata + %d complete events, want 2 + 2", meta, complete)
+	}
+	if !names["run VA"] || !names["run MM"] {
+		t.Errorf("thread names = %v", names)
+	}
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -224,6 +225,19 @@ type JobStatus struct {
 	// through a cluster daemon; empty single-node). Poll, stream or cancel
 	// against any member — lookups for forwarded jobs are proxied.
 	Peer string `json:"peer,omitempty"`
+}
+
+// JobTimeline is the body of GET /v1/jobs/{id}/timeline: the job's
+// run-lifecycle span tree (queue wait, checkpoint probe/restore, warmup,
+// per-kernel measure segments, store write). Spans still open — the job is
+// running — carry "open": true with their duration up to the snapshot.
+type JobTimeline struct {
+	ID     string          `json:"id"`
+	Kind   string          `json:"kind"`
+	Status string          `json:"status"`
+	Key    string          `json:"key,omitempty"`
+	Peer   string          `json:"peer,omitempty"`
+	Spans  []*obs.SpanJSON `json:"spans"`
 }
 
 // Event is one SSE message on GET /v1/jobs/{id}/events. Type "status"

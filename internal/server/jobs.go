@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/server/api"
 	"repro/internal/simstore"
 	"repro/internal/sweep"
@@ -51,6 +52,14 @@ type Job struct {
 	// finished is set on entry to a terminal state; retention GC evicts
 	// terminal jobs by age.
 	finished time.Time
+
+	// Lifecycle trace, served by GET /v1/jobs/{id}/timeline. created is the
+	// submission instant (the queue-wait histogram's origin); spQueue is the
+	// open queue-wait span begin() ends; spRoot is a figure job's root span.
+	created time.Time
+	trace   *obs.Trace
+	spQueue *obs.Span
+	spRoot  *obs.Span
 
 	// done is closed on entry to any terminal state.
 	done chan struct{}
@@ -95,6 +104,20 @@ type Queue struct {
 	pending chan *Job
 	quit    chan struct{}
 	wg      sync.WaitGroup
+
+	// Timing instruments, registered via Instrument; nil (no-op) otherwise.
+	queueWait   *obs.Histogram
+	runDuration *obs.Histogram
+	storeWrite  *obs.Histogram
+}
+
+// Instrument wires the queue's timing histograms: how long run jobs wait
+// for a worker, how long executions take, and how long result-store writes
+// take. All three are nil-safe, so an uninstrumented queue records nothing.
+func (q *Queue) Instrument(queueWait, runDuration, storeWrite *obs.Histogram) {
+	q.queueWait = queueWait
+	q.runDuration = runDuration
+	q.storeWrite = storeWrite
 }
 
 // NewQueue starts a queue with the given simulation worker count (0 uses
@@ -308,6 +331,9 @@ func (q *Queue) SubmitRunFP(key string, spec sweep.RunSpec, fp [32]byte) (Submit
 	j := q.newJobLocked("run")
 	j.Key = key
 	j.fp = fp
+	j.created = time.Now()
+	j.trace = obs.NewTrace()
+	j.spQueue = j.trace.Start("queue-wait")
 	j.spec = canon
 	j.spec.Key = j.ID // names the run in engine error messages
 	// Opt the execution into checkpoint resume/banking. Set after Canonical
@@ -340,6 +366,10 @@ func (q *Queue) SubmitFigure(fig exp.FigureJob, opt exp.Options, route RouteFunc
 	j := q.newJobLocked("figure")
 	j.FigureKey = fig.Key
 	j.Key = fig.Name
+	j.created = time.Now()
+	j.trace = obs.NewTrace()
+	j.spRoot = j.trace.Start("figure")
+	j.spRoot.Annotate("key", fig.Key)
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	j.state = api.StatusRunning
 	j.started = time.Now()
@@ -368,14 +398,16 @@ func runFigureSafely(fig exp.FigureJob, opt exp.Options) (text string, err error
 	return fig.Run(opt)
 }
 
-// executeSafely is the run-job equivalent of runFigureSafely.
-func executeSafely(spec sweep.RunSpec, cp sweep.Checkpointer) (stats gpu.RunStats, err error) {
+// executeSafely is the run-job equivalent of runFigureSafely. sp, when
+// non-nil, receives the execution's lifecycle spans (checkpoint probe,
+// warmup, kernel segments, measure window).
+func executeSafely(spec sweep.RunSpec, cp sweep.Checkpointer, sp *obs.Span) (stats gpu.RunStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("run panicked: %v", r)
 		}
 	}()
-	return sweep.ExecuteWith(spec, cp)
+	return sweep.ExecuteSpanned(spec, cp, sp)
 }
 
 func (q *Queue) worker() {
@@ -395,11 +427,17 @@ func (q *Queue) worker() {
 			if q.shards > 1 {
 				spec.Config.Shards = q.shards
 			}
-			stats, err := executeSafely(spec, q.cp)
+			runSp := j.trace.Start("run")
+			stats, err := executeSafely(spec, q.cp, runSp)
+			runSp.End()
 			if err == nil {
 				// A store write failure degrades caching, not correctness:
 				// the computed statistics are still returned.
+				putSp := j.trace.Start("store-write")
+				putStart := time.Now()
 				q.store.Put(j.fp, j.Key, j.spec, stats)
+				q.storeWrite.ObserveSince(putStart)
+				putSp.End()
 			}
 			q.finishRun(j, stats, err)
 		}
@@ -415,6 +453,8 @@ func (q *Queue) begin(j *Job) bool {
 	}
 	j.state = api.StatusRunning
 	j.started = time.Now()
+	j.spQueue.End()
+	q.queueWait.Observe(time.Since(j.created).Seconds())
 	q.stats.Running++
 	q.publishStatusLocked(j)
 	return true
@@ -427,6 +467,7 @@ func (q *Queue) finishRun(j *Job, stats gpu.RunStats, err error) {
 	q.stats.Executed++
 	j.finished = time.Now()
 	j.durationMs = time.Since(j.started).Milliseconds()
+	q.runDuration.Observe(time.Since(j.started).Seconds())
 	if err != nil {
 		j.state = api.StatusFailed
 		j.errMsg = err.Error()
@@ -450,6 +491,7 @@ func (q *Queue) finishFigure(j *Job, text string, ex *storeExec, err error) {
 	q.stats.Running--
 	j.finished = time.Now()
 	j.durationMs = time.Since(j.started).Milliseconds()
+	j.spRoot.End()
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || j.ctx.Err() != nil):
 		j.state = api.StatusCancelled
@@ -504,6 +546,25 @@ func (q *Queue) Cancel(id string) (api.JobStatus, bool) {
 		j.cancel()
 	}
 	return q.statusLocked(j), true
+}
+
+// Timeline returns the span tree a job's trace recorded so far, with the
+// job's identifying fields. Open spans report Open=true and a duration up
+// to now, so in-flight jobs have useful timelines too.
+func (q *Queue) Timeline(id string) (api.JobTimeline, bool) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return api.JobTimeline{}, false
+	}
+	tl := api.JobTimeline{ID: j.ID, Kind: j.Kind, Status: j.state, Key: j.Key}
+	tr := j.trace
+	q.mu.Unlock()
+	// Snapshot outside the queue lock: it takes the trace's own lock and
+	// walks every span, and the trace pointer is immutable after creation.
+	tl.Spans = tr.Snapshot()
+	return tl, true
 }
 
 // Job returns a job's status snapshot.

@@ -10,6 +10,9 @@
 //	                         blocks until every job finishes)
 //	GET  /v1/runs/{id}       job status + statistics when done
 //	GET  /v1/jobs/{id}/events  SSE stream of status/progress events
+//	GET  /v1/jobs/{id}/timeline  span tree of the job's lifecycle phases
+//	                         (queue wait, checkpoint probe/restore, warmup,
+//	                         kernel segments, measure window)
 //	POST /v1/jobs/{id}/cancel  cancel a queued run or a running figure job
 //	GET  /v1/figures/{key}   regenerate one paper figure, reusing the store
 //	                         for every run (?async=1 returns a job ID;
@@ -21,7 +24,7 @@
 //	GET  /v1/cluster         membership view with per-peer health and
 //	                         store/queue stats
 //	GET  /healthz            liveness + store/queue summary
-//	GET  /metrics            Prometheus-style plain-text counters
+//	GET  /metrics            Prometheus text exposition (internal/obs)
 //
 // Determinism makes the cache exact, not approximate: a spec's fingerprint
 // (simstore.Fingerprint) identifies its RunStats bit-for-bit, so a cache
@@ -40,6 +43,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -49,6 +53,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/exp"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/server/api"
 	"repro/internal/server/client"
@@ -99,6 +104,16 @@ type Config struct {
 	// Peers means single-node operation.
 	Self  string
 	Peers []string
+
+	// MetricsCompat additionally exports the pre-rename metric series
+	// (simd_checkpoint_hits and friends, without the _total counter suffix)
+	// under their old names, for dashboards that have not migrated yet.
+	MetricsCompat bool
+
+	// Logger, when non-nil, receives one structured access-log line per HTTP
+	// request (request ID, route pattern, status, duration). nil disables
+	// access logging; metrics are recorded either way.
+	Logger *slog.Logger
 }
 
 // Server is the simd HTTP handler plus its job queue and (in cluster mode)
@@ -113,6 +128,9 @@ type Server struct {
 	cluster     *cluster.Membership // nil single-node
 	selfAddr    string              // advertised URL, if known (even single-node)
 	peerClients map[string]*client.Client
+
+	metrics *serverMetrics
+	logger  *slog.Logger
 
 	forwarded uint64 // atomic: specs sent to their owner daemon
 	failovers uint64 // atomic: forwards that fell back to local execution
@@ -153,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/timeline", s.handleJobTimeline)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/figures/{key}", s.handleFigure)
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -160,6 +179,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Built last: the registry's sampling funcs close over the queue, the
+	// cluster view and the checkpoint manager assembled above.
+	s.logger = cfg.Logger
+	s.metrics = newServerMetrics(s, cfg.Shards, cfg.MetricsCompat)
+	s.queue.Instrument(s.metrics.queueWait, s.metrics.runDuration, s.metrics.storeWrite)
 	return s, nil
 }
 
@@ -171,8 +195,13 @@ func (s *Server) Self() string {
 	return s.cluster.Self()
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the API mux wrapped in the telemetry
+// middleware (request metrics, X-Request-Id, access logs).
+func (s *Server) Handler() http.Handler { return s.withTelemetry(s.mux) }
+
+// Registry exposes the server's metric registry (tests lint it; embedders
+// may add their own series).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // Workers returns the resolved simulation worker-pool size.
 func (s *Server) Workers() int { return s.queue.Stats().Workers }
@@ -279,6 +308,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			for k, i := range idxs {
 				sub.Specs[k] = req.Specs[i]
 			}
+			fwdStart := time.Now()
 			resp, err := s.peerClients[owner].ForwardRuns(r.Context(), sub, wantWait)
 			if err != nil || len(resp.Results) != len(idxs) {
 				if r.Context().Err() != nil {
@@ -294,6 +324,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			atomic.AddUint64(&s.forwarded, uint64(len(idxs)))
+			s.metrics.forward.With(owner).Observe(time.Since(fwdStart).Seconds())
 			for k, i := range idxs {
 				results[i] = resp.Results[k]
 				if results[i].Peer == "" {
@@ -390,12 +421,14 @@ func (s *Server) routeRun(ctx context.Context, key string, spec sweep.RunSpec) (
 	}
 	wire := api.FromRunSpec(spec)
 	wire.Key = key
+	fwdStart := time.Now()
 	resp, err := s.peerClients[owner].ForwardRuns(ctx, api.RunRequest{Specs: []api.Spec{wire}}, true)
 	if err != nil || len(resp.Results) != 1 {
 		atomic.AddUint64(&s.failovers, 1)
 		return gpu.RunStats{}, false, false, nil
 	}
 	atomic.AddUint64(&s.forwarded, 1)
+	s.metrics.forward.With(owner).Observe(time.Since(fwdStart).Seconds())
 	r := resp.Results[0]
 	switch {
 	case r.Status == api.StatusDone && r.Stats != nil:
@@ -740,42 +773,30 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleMetrics implements GET /metrics: the full registry rendered as
+// Prometheus text exposition. Point-in-time families sample their
+// subsystems here, at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	qs := s.queue.Stats()
-	ss := s.store.StoreStats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "simd_uptime_seconds %.0f\n", time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "simd_workers %d\n", qs.Workers)
-	fmt.Fprintf(w, "simd_jobs_queued %d\n", qs.Queued)
-	fmt.Fprintf(w, "simd_jobs_running %d\n", qs.Running)
-	fmt.Fprintf(w, "simd_jobs_completed_total %d\n", qs.Completed)
-	fmt.Fprintf(w, "simd_jobs_failed_total %d\n", qs.Failed)
-	fmt.Fprintf(w, "simd_jobs_cancelled_total %d\n", qs.Cancelled)
-	fmt.Fprintf(w, "simd_jobs_dedup_hits_total %d\n", qs.DedupHits)
-	fmt.Fprintf(w, "simd_jobs_tracked %d\n", qs.Tracked)
-	fmt.Fprintf(w, "simd_jobs_evicted_total %d\n", qs.Evicted)
-	fmt.Fprintf(w, "simd_runs_executed_total %d\n", qs.Executed)
-	if s.cluster != nil {
-		fmt.Fprintf(w, "simd_cluster_peers %d\n", s.cluster.Len())
-		fmt.Fprintf(w, "simd_cluster_forwarded_total %d\n", atomic.LoadUint64(&s.forwarded))
-		fmt.Fprintf(w, "simd_cluster_failovers_total %d\n", atomic.LoadUint64(&s.failovers))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WriteExposition(w)
+}
+
+// handleJobTimeline implements GET /v1/jobs/{id}/timeline: the span tree a
+// job's trace recorded (queue wait, checkpoint probe/restore, warmup,
+// kernel segments, measure window). Jobs living on another member redirect
+// to their owner, mirroring the events endpoint.
+func (s *Server) handleJobTimeline(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if tl, ok := s.queue.Timeline(id); ok {
+		tl.Peer = s.Self()
+		writeJSON(w, http.StatusOK, tl)
+		return
 	}
-	fmt.Fprintf(w, "simd_store_entries %d\n", ss.Entries)
-	fmt.Fprintf(w, "simd_store_blobs %d\n", ss.Blobs)
-	fmt.Fprintf(w, "simd_store_bytes %d\n", ss.TotalBytes)
-	fmt.Fprintf(w, "simd_store_hits_total %d\n", ss.Hits)
-	fmt.Fprintf(w, "simd_store_misses_total %d\n", ss.Misses)
-	fmt.Fprintf(w, "simd_store_puts_total %d\n", ss.Puts)
-	fmt.Fprintf(w, "simd_store_blob_hits_total %d\n", ss.BlobHits)
-	fmt.Fprintf(w, "simd_store_blob_misses_total %d\n", ss.BlobMisses)
-	fmt.Fprintf(w, "simd_store_blob_puts_total %d\n", ss.BlobPuts)
-	fmt.Fprintf(w, "simd_store_evictions_total %d\n", ss.Evictions)
-	fmt.Fprintf(w, "simd_store_corrupt_total %d\n", ss.Corrupt)
-	if s.ckpt != nil {
-		cs := s.ckpt.ManagerStats()
-		fmt.Fprintf(w, "simd_checkpoint_hits %d\n", cs.Hits)
-		fmt.Fprintf(w, "simd_checkpoint_saves %d\n", cs.Saves)
-		fmt.Fprintf(w, "simd_checkpoint_bytes %d\n", cs.Bytes)
-		fmt.Fprintf(w, "simd_checkpoint_errors %d\n", cs.Errors)
+	if r.Header.Get(api.ForwardedHeader) == "" {
+		if _, peer, found := s.findRemoteJob(r.Context(), id); found {
+			http.Redirect(w, r, peer+"/v1/jobs/"+id+"/timeline", http.StatusTemporaryRedirect)
+			return
+		}
 	}
+	writeError(w, http.StatusNotFound, "no job %q", id)
 }

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -160,6 +161,15 @@ type Checkpointer interface {
 	Checkpoint(spec RunSpec, g *gpu.GPU, atKernel int)
 }
 
+// SpannedCheckpointer is an optional extension of Checkpointer: a resume
+// implementation that records its probe and restore phases as distinct
+// child spans of sp (internal/checkpoint.Manager implements it). Executors
+// fall back to wrapping plain Resume in a single probe span.
+type SpannedCheckpointer interface {
+	Checkpointer
+	ResumeSpanned(spec RunSpec, newProg func() (workload.Program, error), sp *obs.Span) (g *gpu.GPU, prog workload.Program, atKernel int, ok bool)
+}
+
 // BuildProgram constructs the workload program a spec declares: a trace
 // player, a single generator, or a multi-program combination. The returned
 // player is non-nil only for trace replays (it aliases the program) and must
@@ -213,8 +223,54 @@ func Execute(s RunSpec) (gpu.RunStats, error) {
 // every kernel boundary it passes. The returned statistics are byte-identical
 // to what the cold Execute produces.
 func ExecuteWith(s RunSpec, cp Checkpointer) (gpu.RunStats, error) {
+	return ExecuteSpanned(s, cp, nil)
+}
+
+// ExecuteSpanned is ExecuteWith recording the run's lifecycle as child
+// spans of sp: checkpoint probe/restore, program build, warmup, the measure
+// window with one segment per kernel invocation, and checkpoint saves. A
+// nil sp records nothing (spans are nil-safe), and tracing never affects
+// the returned statistics — they stay byte-identical either way.
+func ExecuteSpanned(s RunSpec, cp Checkpointer, sp *obs.Span) (gpu.RunStats, error) {
 	fail := func(err error) (gpu.RunStats, error) {
 		return gpu.RunStats{}, fmt.Errorf("sweep: run %q: %w", s.Key, err)
+	}
+
+	// runMeasured drives the measured window, segmenting it per kernel
+	// invocation: boundary m closes segment m and opens segment m+1, with
+	// checkpoint saves spanned in between.
+	runMeasured := func(g *gpu.GPU, kernels, atKernel int, useCP bool) gpu.RunStats {
+		meas := sp.Child("measure")
+		meas.Annotate("cycles", s.MeasureCycles)
+		meas.Annotate("kernels", kernels)
+		if atKernel > 0 {
+			meas.Annotate("resumed_at_kernel", atKernel)
+		}
+		defer meas.End()
+		var seg *obs.Span
+		if sp != nil && kernels > 1 {
+			seg = meas.Child(fmt.Sprintf("kernel-%d", atKernel+1))
+		}
+		hook := func(m int) {
+			seg.End()
+			if useCP {
+				save := meas.Child("checkpoint-save")
+				save.Annotate("at_kernel", m)
+				cp.Checkpoint(s, g, m)
+				save.End()
+			}
+			if sp != nil && kernels > 1 {
+				seg = meas.Child(fmt.Sprintf("kernel-%d", m+1))
+			}
+		}
+		defer func() { seg.End() }()
+		if atKernel > 0 {
+			return g.ResumeRun(s.MeasureCycles, kernels, hook)
+		}
+		if !useCP && sp == nil {
+			return g.Run(s.MeasureCycles, kernels)
+		}
+		return g.RunCheckpointed(s.MeasureCycles, kernels, hook)
 	}
 
 	// Recording is incompatible with resuming: a run restored past its
@@ -226,20 +282,27 @@ func ExecuteWith(s RunSpec, cp Checkpointer) (gpu.RunStats, error) {
 			prog, _, err := BuildProgram(s)
 			return prog, err
 		}
-		if g, prog, atKernel, ok := cp.Resume(s, newProg); ok {
+		var (
+			g        *gpu.GPU
+			prog     workload.Program
+			atKernel int
+			ok       bool
+		)
+		if scp, spanned := cp.(SpannedCheckpointer); spanned {
+			g, prog, atKernel, ok = scp.ResumeSpanned(s, newProg, sp)
+		} else {
+			probe := sp.Child("checkpoint-probe")
+			g, prog, atKernel, ok = cp.Resume(s, newProg)
+			probe.Annotate("hit", ok)
+			probe.End()
+		}
+		if ok {
 			player, _ := prog.(*trace.Player)
 			if player != nil {
 				defer player.Close()
 			}
 			kernels := s.resolveKernels(player)
-			hook := func(m int) { cp.Checkpoint(s, g, m) }
-			var stats gpu.RunStats
-			if atKernel == 0 {
-				// Restored at warmup end: the measured window starts fresh.
-				stats = g.RunCheckpointed(s.MeasureCycles, kernels, hook)
-			} else {
-				stats = g.ResumeRun(s.MeasureCycles, kernels, hook)
-			}
+			stats := runMeasured(g, kernels, atKernel, true)
 			if player != nil {
 				if err := player.Err(); err != nil {
 					return fail(err)
@@ -249,7 +312,9 @@ func ExecuteWith(s RunSpec, cp Checkpointer) (gpu.RunStats, error) {
 		}
 	}
 
+	build := sp.Child("build-program")
 	prog, player, err := BuildProgram(s)
+	build.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -311,17 +376,18 @@ func ExecuteWith(s RunSpec, cp Checkpointer) (gpu.RunStats, error) {
 		}
 	}
 	if s.WarmupCycles > 0 {
+		warm := sp.Child("warmup")
+		warm.Annotate("cycles", s.WarmupCycles)
 		g.Warmup(s.WarmupCycles)
 		if useCP {
+			save := warm.Child("checkpoint-save")
+			save.Annotate("at_kernel", 0)
 			cp.Checkpoint(s, g, 0)
+			save.End()
 		}
+		warm.End()
 	}
-	var stats gpu.RunStats
-	if useCP {
-		stats = g.RunCheckpointed(s.MeasureCycles, kernels, func(m int) { cp.Checkpoint(s, g, m) })
-	} else {
-		stats = g.Run(s.MeasureCycles, kernels)
-	}
+	stats := runMeasured(g, kernels, 0, useCP)
 	if rec != nil {
 		if err := rec.Close(); err != nil {
 			os.Remove(s.RecordPath)
@@ -380,6 +446,12 @@ type Runner struct {
 	// Checkpointer, when non-nil, lets runs that set RunSpec.Checkpoint
 	// resume from stored state prefixes and bank new ones.
 	Checkpointer Checkpointer
+	// TraceFor, when non-nil, is asked for a parent span per run (keyed by
+	// RunSpec.Key); the run's lifecycle phases are recorded as children and
+	// the span is ended when the run finishes. Must be safe for concurrent
+	// calls from the worker pool. A nil return disables tracing for that
+	// run.
+	TraceFor func(key string) *obs.Span
 }
 
 var _ Executor = (*Runner)(nil)
@@ -442,7 +514,12 @@ func (r *Runner) Run(ctx context.Context, specs []RunSpec) ([]Result, error) {
 					continue
 				}
 				res := Result{Index: i, Key: specs[i].Key}
-				res.Stats, res.Err = ExecuteWith(specs[i], r.Checkpointer)
+				var sp *obs.Span
+				if r.TraceFor != nil {
+					sp = r.TraceFor(specs[i].Key)
+				}
+				res.Stats, res.Err = ExecuteSpanned(specs[i], r.Checkpointer, sp)
+				sp.End()
 				if res.Err != nil {
 					cancel()
 				}

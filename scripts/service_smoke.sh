@@ -134,6 +134,23 @@ ex_b=$(curl -sf "$url_b/metrics" | awk '/^simd_runs_executed_total/ {print $2}')
 [ "$((ex_a + ex_b))" -eq 1 ] \
   || { echo "executed counts A=$ex_a B=$ex_b, want exactly one total"; exit 1; }
 
+echo "forwarding metrics: exactly one forward, no failovers"
+# One of the two POSTs landed on the spec's rendezvous owner (no forward);
+# the other member forwarded its request — so the cluster-wide forwarded
+# count is exactly 1, and nothing fell back to local execution.
+fwd_a=$(curl -sf "$url_a/metrics" | awk '/^simd_cluster_forwarded_total/ {print $2}')
+fwd_b=$(curl -sf "$url_b/metrics" | awk '/^simd_cluster_forwarded_total/ {print $2}')
+[ "$((fwd_a + fwd_b))" -eq 1 ] \
+  || { echo "forwarded counts A=$fwd_a B=$fwd_b, want exactly one total"; exit 1; }
+fo_a=$(curl -sf "$url_a/metrics" | awk '/^simd_cluster_failovers_total/ {print $2}')
+fo_b=$(curl -sf "$url_b/metrics" | awk '/^simd_cluster_failovers_total/ {print $2}')
+[ "$((fo_a + fo_b))" -eq 0 ] \
+  || { echo "failover counts A=$fo_a B=$fo_b, want zero"; exit 1; }
+# The forwarding member also observed the hop's round-trip latency.
+{ curl -sf "$url_a/metrics"; curl -sf "$url_b/metrics"; } > cl-metrics.txt
+grep -q '^simd_cluster_forward_seconds_count{[^}]*} 1$' cl-metrics.txt \
+  || { echo "no per-peer forward latency observation recorded"; grep simd_cluster_forward cl-metrics.txt || true; exit 1; }
+
 echo "both members name the same owner and return byte-identical stats"
 jq -cS '.results[0].stats' cl-a.json > cl-a.stats
 jq -cS '.results[0].stats' cl-b.json > cl-b.stats
