@@ -8,12 +8,23 @@
 //	simd -addr :9000 -workers 8  # all interfaces, pinned simulation pool
 //	simd -addr 127.0.0.1:0       # random port (printed on startup)
 //
-// Several daemons form a cluster by sharing one -peers list (every member's
-// full set of base URLs, each daemon included). Runs are sharded across
-// members by rendezvous hashing of their fingerprint: any daemon accepts
-// any request and transparently forwards each run to its owner, so
-// identical specs always dedupe onto one node and each member's store holds
-// only the runs it owns.
+// Several daemons form a cluster through seed-node gossip: the first daemon
+// starts with -seeds "" (bootstrap), every later one points -seeds at any
+// running member and is absorbed without restarting anyone. Runs are
+// sharded across members by rendezvous hashing of their fingerprint: any
+// daemon accepts any request and transparently forwards each run to its
+// owner (handle-based — a forward never pins a connection), and each stored
+// record is replicated to the top -replicas ranked members so a killed
+// owner's results survive on warm replicas.
+//
+//	simd -addr 127.0.0.1:8404 -store store-a -seeds ""
+//	simd -addr 127.0.0.1:8405 -store store-b -seeds http://127.0.0.1:8404
+//	simd -addr 127.0.0.1:8406 -store store-c -seeds http://127.0.0.1:8404
+//
+// The legacy static mode still works: share one -peers list (every member's
+// full set of base URLs, each daemon included) and skip -seeds. Static
+// clusters have no failure detection or replication — membership is exactly
+// the list.
 //
 //	simd -addr 127.0.0.1:8404 -store store-a -peers http://127.0.0.1:8404,http://127.0.0.1:8405
 //	simd -addr 127.0.0.1:8405 -store store-b -peers http://127.0.0.1:8404,http://127.0.0.1:8405
@@ -63,8 +74,11 @@ func run() int {
 		ckptFlag    = flag.Bool("checkpoints", false, "bank GPU state snapshots (warmup end, kernel boundaries) in the store and resume runs from matching prefixes; statistics stay byte-identical, only wall-clock time changes")
 		jobTTLFlag  = flag.Duration("job-ttl", server.DefaultJobTTL, "how long finished jobs stay pollable in memory (0 = forever; results persist in the store regardless)")
 		maxJobsFlag = flag.Int("max-jobs", server.DefaultMaxJobs, "max finished jobs retained in memory (0 = unbounded)")
-		peersFlag   = flag.String("peers", "", "comma-separated base URLs of every cluster member, this daemon included (enables fingerprint-sharded routing)")
-		selfFlag    = flag.String("self", "", "this daemon's advertised base URL within -peers (default: http://<resolved listen address>)")
+		peersFlag   = flag.String("peers", "", "comma-separated base URLs of every cluster member, this daemon included (static membership; mutually exclusive with -seeds)")
+		seedsFlag   = flag.String("seeds", "", "comma-separated base URLs of running cluster members to join through (gossip membership; pass -seeds \"\" to bootstrap the first daemon)")
+		replFlag    = flag.Int("replicas", 2, "replication factor under gossip membership: each stored record and checkpoint blob is pushed to the top-K rendezvous-ranked members (<=1 disables replication)")
+		hbFlag      = flag.Duration("heartbeat", time.Second, "gossip heartbeat period; suspicion and death verdicts scale from it (4x and 12x)")
+		selfFlag    = flag.String("self", "", "this daemon's advertised base URL within the cluster (default: http://<resolved listen address>)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this separate address (e.g. 127.0.0.1:6060); empty disables them")
 		compatFlag  = flag.Bool("metrics-compat", false, "additionally export pre-rename metric series (simd_checkpoint_hits and friends without the _total suffix) for unmigrated dashboards")
 		logFormat   = flag.String("log-format", "text", "structured access-log format on stderr: text, json, or off")
@@ -101,6 +115,19 @@ func run() int {
 		self = "http://" + ln.Addr().String()
 	}
 	peers := cluster.ParsePeers(*peersFlag)
+	seeds := cluster.ParsePeers(*seedsFlag)
+	// -seeds "" (explicitly set but empty) bootstraps a gossip cluster of
+	// one; an unset -seeds with no -peers is plain single-node operation.
+	gossip := len(seeds) > 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seeds" {
+			gossip = true
+		}
+	})
+	if gossip && len(peers) > 0 {
+		fmt.Fprintln(os.Stderr, "simd: -peers (static membership) and -seeds (gossip membership) are mutually exclusive")
+		return 1
+	}
 
 	srv, err := server.New(server.Config{
 		Store:         store,
@@ -111,6 +138,10 @@ func run() int {
 		Checkpoints:   *ckptFlag,
 		Self:          self,
 		Peers:         peers,
+		Seeds:         seeds,
+		Gossip:        gossip,
+		Replicas:      *replFlag,
+		Heartbeat:     *hbFlag,
 		MetricsCompat: *compatFlag,
 		Logger:        logger,
 	})
@@ -123,7 +154,10 @@ func run() int {
 	// The startup line is machine-readable: scripts extract the URL to
 	// support -addr :0 (the CI smoke job does).
 	clusterNote := ""
-	if len(peers) > 0 {
+	switch {
+	case gossip:
+		clusterNote = fmt.Sprintf(", gossip cluster as %s (%d seeds, %d replicas)", srv.Self(), len(seeds), *replFlag)
+	case len(peers) > 0:
 		clusterNote = fmt.Sprintf(", cluster of %d as %s", len(peers), srv.Self())
 	}
 	fmt.Printf("simd: listening on http://%s (store %s, %d entries, %d workers%s)\n",

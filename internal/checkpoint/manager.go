@@ -33,7 +33,15 @@ type Manager struct {
 	probeSeconds   *obs.Histogram
 	restoreSeconds *obs.Histogram
 	saveSeconds    *obs.Histogram
+
+	// onSave, if set via OnSave, fires after every banked snapshot with
+	// the blob key and encoded bytes (the cluster replication hook).
+	onSave func(key [32]byte, data []byte)
 }
+
+// OnSave registers a post-save hook. Set before the manager is handed to
+// workers; not safe to change concurrently with running simulations.
+func (m *Manager) OnSave(fn func(key [32]byte, data []byte)) { m.onSave = fn }
 
 var (
 	_ sweep.Checkpointer        = (*Manager)(nil)
@@ -229,4 +237,7 @@ func (m *Manager) Checkpoint(spec sweep.RunSpec, g *gpu.GPU, atKernel int) {
 	}
 	m.saves.Add(1)
 	m.bytes.Add(uint64(len(data)))
+	if m.onSave != nil {
+		m.onSave(key, data)
+	}
 }

@@ -359,20 +359,88 @@ type Health struct {
 
 // ClusterPeer is one member's entry in a ClusterStatus: its address plus a
 // live health probe (Health is nil, and Error set, when the probe failed).
+// Status is the answering daemon's gossip view of the member (alive,
+// suspect, dead, left; empty on static or single-node clusters).
 type ClusterPeer struct {
 	URL     string  `json:"url"`
 	Self    bool    `json:"self,omitempty"`
 	Healthy bool    `json:"healthy"`
+	Status  string  `json:"status,omitempty"`
 	Error   string  `json:"error,omitempty"`
 	Health  *Health `json:"health,omitempty"`
 }
 
 // ClusterStatus is the body of GET /v1/cluster: the answering daemon's
 // membership view with per-peer store/queue stats. A single-node daemon
-// reports itself as the only member.
+// reports itself as the only member. Epoch is the answering daemon's local
+// membership epoch — it bumps exactly when the active member set changes,
+// so clients re-rank peers when they see it move (0 when not clustered).
 type ClusterStatus struct {
 	Self  string        `json:"self,omitempty"`
+	Epoch uint64        `json:"epoch,omitempty"`
 	Peers []ClusterPeer `json:"peers"`
+}
+
+// MemberEntry is one member in a MembershipView: its address and the
+// answering daemon's gossip verdict on it (alive, suspect, dead, left;
+// empty on static or single-node clusters).
+type MemberEntry struct {
+	Addr   string `json:"addr"`
+	Status string `json:"status,omitempty"`
+	Self   bool   `json:"self,omitempty"`
+}
+
+// MembershipView is the body of GET /v1/cluster/membership: the raw
+// membership view with no health probes attached — cheap enough for
+// clients to poll and re-rank on. Epoch bumps exactly when the active
+// member set changes (0 when not clustered).
+type MembershipView struct {
+	Epoch   uint64        `json:"epoch"`
+	Members []MemberEntry `json:"members"`
+}
+
+// StoredRecord is one replicated (or looked-up) store entry on the wire:
+// enough to reconstruct the exact store row on the receiver, with the
+// fingerprint hex-encoded for JSON. Spec is the canonical spec so the
+// receiver can re-derive and verify the fingerprint.
+type StoredRecord struct {
+	Fingerprint string       `json:"fingerprint"`
+	Key         string       `json:"key,omitempty"`
+	Spec        Spec         `json:"spec"`
+	Stats       gpu.RunStats `json:"stats"`
+}
+
+// ReplicaBlob is one checkpoint blob pushed to a replica, keyed by the
+// hex of its content hash.
+type ReplicaBlob struct {
+	Key  string `json:"key"`
+	Data []byte `json:"data"`
+}
+
+// ReplicateRequest is the body of POST /v1/replicate: records and/or
+// checkpoint blobs the sender wants banked on this replica.
+type ReplicateRequest struct {
+	Records []StoredRecord `json:"records,omitempty"`
+	Blobs   []ReplicaBlob  `json:"blobs,omitempty"`
+}
+
+// ReplicateResponse reports how much of a ReplicateRequest was accepted.
+type ReplicateResponse struct {
+	Stored   int `json:"stored"`
+	Rejected int `json:"rejected"`
+}
+
+// LookupRequest is the body of POST /v1/records/lookup: a batch of
+// hex fingerprints to probe in the receiver's local store only — no
+// execution, no forwarding.
+type LookupRequest struct {
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// LookupResponse returns the subset of requested records the receiver
+// holds locally.
+type LookupResponse struct {
+	Records []StoredRecord `json:"records"`
 }
 
 // Error is the body of every non-2xx response.

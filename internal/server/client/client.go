@@ -218,6 +218,30 @@ func (c *Client) ForwardRuns(ctx context.Context, req api.RunRequest, wait bool)
 	return &resp, nil
 }
 
+// LookupRecords probes the daemon's local store for a batch of
+// fingerprints — no execution, no onward routing. Used by the server's
+// cluster layer to find warm replicas before re-executing anything.
+func (c *Client) LookupRecords(ctx context.Context, req api.LookupRequest) (*api.LookupResponse, error) {
+	var resp api.LookupResponse
+	hdr := http.Header{api.ForwardedHeader: []string{"1"}}
+	if err := c.do(ctx, http.MethodPost, "/v1/records/lookup", req, &resp, hdr); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Replicate pushes store records and checkpoint blobs to the daemon for
+// banking as a replica. Used by the server's cluster layer, not by
+// ordinary clients.
+func (c *Client) Replicate(ctx context.Context, req api.ReplicateRequest) (*api.ReplicateResponse, error) {
+	var resp api.ReplicateResponse
+	hdr := http.Header{api.ForwardedHeader: []string{"1"}}
+	if err := c.do(ctx, http.MethodPost, "/v1/replicate", req, &resp, hdr); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Figure regenerates one paper figure on the daemon and returns its
 // formatted text (byte-identical to local paperfigs output for the same
 // options) plus cache statistics.

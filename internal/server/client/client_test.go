@@ -163,3 +163,99 @@ func TestPoolRankingMatchesCluster(t *testing.T) {
 		t.Errorf("pool ranking %v != cluster ranking %v", got, want)
 	}
 }
+
+// TestPoolMembershipRefresh: a pool seeded with one daemon adopts the full
+// member list from GET /v1/cluster/membership once the TTL lapses, drops
+// dead/left members, and records the epoch.
+func TestPoolMembershipRefresh(t *testing.T) {
+	a, _ := fakeDaemon(t)
+	b, _ := fakeDaemon(t)
+	var view atomic.Pointer[api.MembershipView]
+	view.Store(&api.MembershipView{
+		Epoch: 7,
+		Members: []api.MemberEntry{
+			{Addr: cluster.Normalize(a.URL), Self: true, Status: "alive"},
+			{Addr: cluster.Normalize(b.URL), Status: "suspect"},
+			{Addr: "http://127.0.0.1:1", Status: "dead"},
+			{Addr: "http://127.0.0.1:2", Status: "left"},
+		},
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/cluster/membership", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(view.Load())
+	})
+	seed := httptest.NewServer(mux)
+	t.Cleanup(seed.Close)
+
+	pool, err := NewPool([]string{seed.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.MembershipTTL = time.Nanosecond
+	pool.maybeRefresh(context.Background())
+
+	want := []string{cluster.Normalize(a.URL), cluster.Normalize(b.URL)}
+	got := pool.Peers()
+	if len(got) != 2 || (got[0] != want[0] && got[0] != want[1]) {
+		t.Errorf("pool peers after refresh = %v, want %v (alive + suspect only)", got, want)
+	}
+	if pool.Epoch() != 7 {
+		t.Errorf("pool epoch = %d, want 7", pool.Epoch())
+	}
+
+	// A later view with nothing routable must not wipe the pool.
+	view.Store(&api.MembershipView{Epoch: 8, Members: []api.MemberEntry{{Addr: "http://127.0.0.1:1", Status: "dead"}}})
+	pool.mu.Lock()
+	pool.lastRefresh = time.Time{}
+	pool.mu.Unlock()
+	// The seed is no longer in the routing set, so refresh goes through a
+	// member; neither serves the endpoint, so the old set must survive.
+	pool.maybeRefresh(context.Background())
+	if got := pool.Peers(); len(got) != 2 {
+		t.Errorf("pool peers after failed refresh = %v, want the previous 2", got)
+	}
+}
+
+// TestPoolRunsPollsJobHandle: a waited Runs call submits without waiting
+// and polls the returned job handle to completion — the /v1/runs request
+// itself never blocks for the simulation.
+func TestPoolRunsPollsJobHandle(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	})
+	mux.HandleFunc("POST /v1/runs", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("wait") == "1" {
+			t.Error("pool submitted with wait=1; handle-based forwarding must not")
+		}
+		json.NewEncoder(w).Encode(api.RunResponse{Results: []api.RunResult{
+			{Key: "h", Status: api.StatusQueued, JobID: "job-1"},
+		}})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st := api.JobStatus{ID: r.PathValue("id"), Status: api.StatusRunning}
+		if polls.Add(1) >= 2 {
+			st.Status = api.StatusDone
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+
+	pool, err := NewPool([]string{hs.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.PollInterval = time.Millisecond
+	resp, err := pool.Runs(context.Background(), api.RunRequest{Specs: []api.Spec{{Key: "h", Benchmarks: []string{"VA"}, MeasureCycles: 3000}}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Status != api.StatusDone {
+		t.Errorf("result status = %s, want done", resp.Results[0].Status)
+	}
+	if polls.Load() < 2 {
+		t.Errorf("job handle polled %d times, want >= 2", polls.Load())
+	}
+}

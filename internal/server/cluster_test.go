@@ -262,8 +262,9 @@ func TestClusterFailover(t *testing.T) {
 	}
 	tc.kill(2)
 
-	// Server-side failover: a non-owner daemon cannot reach the owner and
-	// executes the run itself rather than failing the request.
+	// Server-side failover: the entry daemon cannot reach the dead owner
+	// and walks down the ranking — the run executes exactly once, on some
+	// survivor (the next-ranked member, or the entry itself).
 	resp, err := client.New(tc.urls[0]).Runs(ctx, api.RunRequest{Specs: []api.Spec{spec}}, true)
 	if err != nil {
 		t.Fatal(err)
@@ -271,8 +272,8 @@ func TestClusterFailover(t *testing.T) {
 	if r := resp.Results[0]; r.Status != api.StatusDone || r.Stats == nil {
 		t.Fatalf("failover run: status=%s error=%q", r.Status, r.Error)
 	}
-	if got := tc.servers[0].queue.Stats().Executed; got != 1 {
-		t.Errorf("surviving entry daemon executed %d runs, want 1 (local failover)", got)
+	if got := executedCounts(tc); got[0]+got[1] != 1 || got[2] != 0 {
+		t.Errorf("survivor executions = %v, want exactly one total on daemons 0/1", got)
 	}
 
 	// Client-side failover: the pool skips the dead owner and the request

@@ -109,6 +109,17 @@ type Queue struct {
 	queueWait   *obs.Histogram
 	runDuration *obs.Histogram
 	storeWrite  *obs.Histogram
+
+	// onStored, if set via OnStored, fires after every successful result
+	// store write (the cluster replication hook). The spec passed is the
+	// job's canonical spec.
+	onStored func(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunStats)
+}
+
+// OnStored registers a post-store-write hook. Set before traffic arrives;
+// not safe to change concurrently with running workers.
+func (q *Queue) OnStored(fn func(fp [32]byte, key string, spec sweep.RunSpec, stats gpu.RunStats)) {
+	q.onStored = fn
 }
 
 // Instrument wires the queue's timing histograms: how long run jobs wait
@@ -438,6 +449,9 @@ func (q *Queue) worker() {
 				q.store.Put(j.fp, j.Key, j.spec, stats)
 				q.storeWrite.ObserveSince(putStart)
 				putSp.End()
+				if q.onStored != nil {
+					q.onStored(j.fp, j.Key, j.spec, stats)
+				}
 			}
 			q.finishRun(j, stats, err)
 		}
@@ -732,10 +746,9 @@ func (e *storeExec) Run(ctx context.Context, specs []sweep.RunSpec) ([]sweep.Res
 	}
 	var waits []pending
 	// In cluster mode, offer every spec to its remote owner concurrently
-	// up front: each forward blocks for the owner's full simulation, and
-	// doing them inside the sequential loop below would serialize the
-	// figure. The owners' own worker pools bound actual simulation load;
-	// the semaphore only caps idle-waiting connections.
+	// up front: routing is handle-based (submit, then poll), so a routed
+	// run costs poll round-trips rather than a pinned connection, and the
+	// owners' own worker pools bound actual simulation load.
 	type routedResult struct {
 		stats   gpu.RunStats
 		cached  bool
@@ -745,14 +758,11 @@ func (e *storeExec) Run(ctx context.Context, specs []sweep.RunSpec) ([]sweep.Res
 	var routed []routedResult
 	if e.route != nil {
 		routed = make([]routedResult, len(specs))
-		sem := make(chan struct{}, 32)
 		var wg sync.WaitGroup
 		for i, s := range specs {
 			wg.Add(1)
 			go func(i int, s sweep.RunSpec) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
 				if ctx.Err() != nil {
 					return // unhandled; the loop below reports ctx.Err
 				}

@@ -22,13 +22,22 @@ import (
 type serverMetrics struct {
 	reg *obs.Registry
 
-	httpRequests *obs.CounterVec   // by route, method, code
-	httpDuration *obs.HistogramVec // by route
-	queueWait    *obs.Histogram
-	runDuration  *obs.Histogram
-	storeWrite   *obs.Histogram
-	forward      *obs.HistogramVec // by peer
+	httpRequests    *obs.CounterVec   // by route, method, code
+	httpDuration    *obs.HistogramVec // by route
+	queueWait       *obs.Histogram
+	runDuration     *obs.Histogram
+	storeWrite      *obs.Histogram
+	forward         *obs.HistogramVec // by peer
+	failoverReasons *obs.CounterVec   // by reason
+	replLag         *obs.Histogram    // store write -> replica ack
 }
+
+// Failover reason labels for simd_cluster_failovers_total{reason}.
+const (
+	failoverUnreachable = "owner_unreachable"
+	failoverBadAnswer   = "bad_answer"
+	failoverCancelled   = "owner_cancelled"
+)
 
 // newServerMetrics builds the registry for one Server. compat additionally
 // re-exports the pre-rename checkpoint series (simd_checkpoint_hits etc.,
@@ -87,22 +96,60 @@ func newServerMetrics(s *Server, shards int, compat bool) *serverMetrics {
 	reg.CounterFunc("simd_store_corrupt_total", "Corrupt records dropped on read.",
 		func() float64 { return float64(s.store.StoreStats().Corrupt) })
 
-	// Cluster routing. Registered unconditionally so the exported schema
-	// does not depend on deployment shape; single-node daemons report 0.
+	// Cluster routing and membership. Registered unconditionally so the
+	// exported schema does not depend on deployment shape; single-node
+	// daemons report 0.
 	reg.GaugeFunc("simd_cluster_peers", "Cluster member count (0 = single-node).",
 		func() float64 {
-			if s.cluster == nil {
+			if s.node == nil {
 				return 0
 			}
-			return float64(s.cluster.Len())
+			return float64(s.node.Len())
 		})
-	reg.CounterFunc("simd_cluster_forwarded_total", "Runs forwarded to their rendezvous owner.",
+	reg.GaugeFunc("simd_membership_size", "ACTIVE cluster members in the local gossip view (0 = single-node).",
+		func() float64 {
+			if s.node == nil {
+				return 0
+			}
+			return float64(s.node.Len())
+		})
+	reg.GaugeFunc("simd_membership_epoch", "Local membership epoch; bumps when the active member set changes (0 = single-node).",
+		func() float64 {
+			if s.node == nil {
+				return 0
+			}
+			return float64(s.node.Epoch())
+		})
+	reg.CounterFunc("simd_cluster_forwarded_total", "Runs forwarded to a rendezvous-ranked member.",
 		func() float64 { return float64(atomic.LoadUint64(&s.forwarded)) })
-	reg.CounterFunc("simd_cluster_failovers_total", "Forwards that fell back to local execution.",
-		func() float64 { return float64(atomic.LoadUint64(&s.failovers)) })
+	// Failovers are labeled by cause; the unlabeled aggregate rides behind
+	// -metrics-compat for dashboards that still query the old name.
+	m.failoverReasons = reg.CounterVec("simd_cluster_failovers_total",
+		"Forwards that fell back down the ranking, by cause.", "reason")
+	for _, reason := range []string{failoverUnreachable, failoverBadAnswer, failoverCancelled} {
+		m.failoverReasons.With(reason) // pre-seed so every series renders from 0
+	}
+	if compat {
+		reg.Untyped("simd_cluster_failovers", "Deprecated: use simd_cluster_failovers_total{reason}.",
+			func() float64 { return float64(atomic.LoadUint64(&s.failovers)) })
+	}
 	m.forward = reg.HistogramVec("simd_cluster_forward_seconds",
-		"Round-trip time of forwarding runs to a peer (includes the owner's simulation time for waited requests).",
+		"Round-trip time of forwarding runs to a peer (submit only; simulation time is spent polling the returned job handle).",
 		nil, "peer")
+	reg.CounterFunc("simd_cluster_replica_hits_total", "Reads served from a non-owner's warm replica.",
+		func() float64 { return float64(atomic.LoadUint64(&s.replicaHits)) })
+	reg.CounterFunc("simd_cluster_remote_polls_total", "Poll round-trips on forwarded job handles.",
+		func() float64 { return float64(atomic.LoadUint64(&s.remotePolls)) })
+	reg.CounterFunc("simd_replication_pushed_total", "Records and checkpoint blobs pushed to replicas.",
+		func() float64 { return float64(atomic.LoadUint64(&s.replPushed)) })
+	reg.CounterFunc("simd_replication_received_total", "Records and checkpoint blobs accepted from peers.",
+		func() float64 { return float64(atomic.LoadUint64(&s.replRecv)) })
+	reg.CounterFunc("simd_replication_errors_total", "Failed replica pushes plus rejected receipts.",
+		func() float64 { return float64(atomic.LoadUint64(&s.replErrors)) })
+	reg.CounterFunc("simd_replication_read_repairs_total", "Records re-pushed onto the current top-K after an off-owner read.",
+		func() float64 { return float64(atomic.LoadUint64(&s.readRepairs)) })
+	m.replLag = reg.Histogram("simd_replication_lag_seconds",
+		"Lag between a local store write and each replica's acknowledgement.", nil)
 
 	// Checkpoint manager: renamed to counter convention (*_total); the old
 	// suffix-less names ride behind -metrics-compat for one release.

@@ -241,9 +241,29 @@ func TestGrafanaDashboardMetricNamesExist(t *testing.T) {
 		}
 		return name
 	}
+	referenced := make(map[string]bool)
 	for _, name := range regexp.MustCompile(`simd_[a-z0-9_]+`).FindAllString(string(data), -1) {
+		referenced[strip(name)] = true
 		if !exported[strip(name)] {
 			t.Errorf("dashboard references %s, which the server does not export", name)
+		}
+	}
+
+	// The membership/replication panels must not silently regress: these
+	// families are the observable surface of the gossip + top-K design.
+	for _, name := range []string{
+		"simd_membership_size",
+		"simd_membership_epoch",
+		"simd_cluster_failovers_total",
+		"simd_cluster_replica_hits_total",
+		"simd_cluster_remote_polls_total",
+		"simd_replication_pushed_total",
+		"simd_replication_received_total",
+		"simd_replication_lag_seconds",
+		"simd_replication_read_repairs_total",
+	} {
+		if !referenced[name] {
+			t.Errorf("dashboard has no panel referencing %s", name)
 		}
 	}
 }

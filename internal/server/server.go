@@ -23,6 +23,8 @@
 //	                         (?cycles=&warmup=&seed= rescale the recipe)
 //	GET  /v1/cluster         membership view with per-peer health and
 //	                         store/queue stats
+//	GET  /v1/cluster/membership  raw gossip view (epoch + member statuses),
+//	                         no health probes — cheap to poll
 //	GET  /healthz            liveness + store/queue summary
 //	GET  /metrics            Prometheus text exposition (internal/obs)
 //
@@ -30,12 +32,22 @@
 // (simstore.Fingerprint) identifies its RunStats bit-for-bit, so a cache
 // hit is byte-identical to re-running the simulation.
 //
-// In cluster mode (Config.Peers) daemons shard the result store by run
-// fingerprint using rendezvous hashing (internal/cluster): any daemon
-// accepts any request, but each spec executes — and its record is stored —
-// on its hash-designated owner, reached by transparent forwarding. Finished
-// jobs are retained in memory only per the Config.JobTTL/MaxJobs policy;
-// evicted job IDs answer 404 while their statistics remain in the store.
+// In cluster mode daemons shard the result store by run fingerprint using
+// rendezvous hashing (internal/cluster): any daemon accepts any request,
+// but each spec executes — and its record is stored — on its
+// hash-designated owner. Membership is either a static list (Config.Peers)
+// or gossip-based with seed-node bootstrap (Config.Seeds/Gossip): daemons
+// join and leave without restarting the others, and routing re-ranks on
+// every membership epoch. With Config.Replicas > 1 each stored record and
+// checkpoint blob is pushed to the top-K ranked members, so a killed
+// owner's results are served byte-identical from a warm replica instead of
+// re-executed; reads check the local store, then probe the ranked members
+// (POST /v1/records/lookup), then forward. Cross-owner forwarding is
+// handle-based: the forwarder submits without waiting, gets the owner's
+// job ID back immediately, and polls it — a hop never pins an HTTP
+// connection for the length of a simulation. Finished jobs are retained in
+// memory only per the Config.JobTTL/MaxJobs policy; evicted job IDs answer
+// 404 while their statistics remain in the store.
 package server
 
 import (
@@ -98,12 +110,38 @@ type Config struct {
 	// changes wall-clock time and store disk usage.
 	Checkpoints bool
 
-	// Self and Peers enable cluster mode: Peers is the full member list
-	// (base URLs, including this daemon) and Self is this daemon's entry in
-	// it. Every member must be configured with the same Peers set. Empty
-	// Peers means single-node operation.
+	// Self and Peers enable static cluster mode: Peers is the full member
+	// list (base URLs, including this daemon) and Self is this daemon's
+	// entry in it. Every member must be configured with the same Peers set.
+	// Empty Peers (and no Seeds/Gossip) means single-node operation.
 	Self  string
 	Peers []string
+
+	// Seeds enables dynamic gossip membership instead: the daemon
+	// bootstraps by contacting any live seed and thereafter tracks the
+	// cluster through heartbeats (join/leave/suspicion, no restarts).
+	// Gossip forces dynamic mode even with no seeds — the first daemon of
+	// a new cluster, which others will point their -seeds at. Mutually
+	// exclusive with Peers.
+	Seeds  []string
+	Gossip bool
+
+	// Replicas is the replication factor: every stored record and
+	// checkpoint blob is pushed to the top-Replicas rendezvous-ranked
+	// members (the owner counts as one), and reads probe that many ranked
+	// members plus one before re-executing anything. <= 1 disables
+	// replication.
+	Replicas int
+
+	// Heartbeat is the gossip period (default 1s); SuspectAfter/DeadAfter
+	// default to 4x/12x of it. Only meaningful in dynamic mode.
+	Heartbeat    time.Duration
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+
+	// RemotePoll is how often forwarded job handles are polled for
+	// completion (default 150ms).
+	RemotePoll time.Duration
 
 	// MetricsCompat additionally exports the pre-rename metric series
 	// (simd_checkpoint_hits and friends, without the _total counter suffix)
@@ -125,25 +163,41 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
-	cluster     *cluster.Membership // nil single-node
-	selfAddr    string              // advertised URL, if known (even single-node)
-	peerClients map[string]*client.Client
+	node       *cluster.Node // nil single-node
+	selfAddr   string        // advertised URL, if known (even single-node)
+	replicas   int
+	remotePoll time.Duration
+
+	pcMu        sync.RWMutex
+	peerClients map[string]*client.Client // lazily built; members come and go
 
 	metrics *serverMetrics
 	logger  *slog.Logger
 
-	forwarded uint64 // atomic: specs sent to their owner daemon
-	failovers uint64 // atomic: forwards that fell back to local execution
+	forwarded   uint64 // atomic: specs sent to another ranked member
+	failovers   uint64 // atomic: forwards that fell back down the ranking
+	replicaHits uint64 // atomic: reads served from a non-owner's warm copy
+	remotePolls uint64 // atomic: job-handle poll round-trips
+	replPushed  uint64 // atomic: records+blobs pushed to replicas
+	replRecv    uint64 // atomic: records+blobs accepted from peers
+	replErrors  uint64 // atomic: failed replica pushes / rejected receipts
+	readRepairs uint64 // atomic: records re-pushed after an off-owner read
 }
 
 // New builds a Server and starts its worker pool; Close releases it. The
 // only error source is an invalid cluster configuration.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		store:    cfg.Store,
-		mux:      http.NewServeMux(),
-		started:  time.Now(),
-		selfAddr: cluster.Normalize(cfg.Self),
+		store:       cfg.Store,
+		mux:         http.NewServeMux(),
+		started:     time.Now(),
+		selfAddr:    cluster.Normalize(cfg.Self),
+		replicas:    cfg.Replicas,
+		remotePoll:  cfg.RemotePoll,
+		peerClients: make(map[string]*client.Client),
+	}
+	if s.remotePoll <= 0 {
+		s.remotePoll = 150 * time.Millisecond
 	}
 	// The checkpointer is handed to the queue as an interface; keep the nil
 	// case a true nil interface, not a typed nil *Manager.
@@ -153,21 +207,46 @@ func New(cfg Config) (*Server, error) {
 		cp = s.ckpt
 	}
 	s.queue = NewQueue(cfg.Store, cfg.Workers, cfg.Shards, cfg.JobTTL, cfg.MaxJobs, cp)
-	if len(cfg.Peers) > 0 {
-		m, err := cluster.New(cfg.Self, cfg.Peers)
+	dynamic := len(cfg.Seeds) > 0 || cfg.Gossip
+	if len(cfg.Peers) > 0 && dynamic {
+		s.queue.Close()
+		return nil, fmt.Errorf("server: static Peers and dynamic Seeds/Gossip are mutually exclusive")
+	}
+	if len(cfg.Peers) > 0 || dynamic {
+		ncfg := cluster.NodeConfig{
+			Self:           cfg.Self,
+			HeartbeatEvery: cfg.Heartbeat,
+			SuspectAfter:   cfg.SuspectAfter,
+			DeadAfter:      cfg.DeadAfter,
+		}
+		if dynamic {
+			ncfg.Seeds = cfg.Seeds
+		} else {
+			ncfg.Static = cfg.Peers
+		}
+		if cfg.Logger != nil {
+			log := cfg.Logger
+			ncfg.OnChange = func(epoch uint64, members []string) {
+				log.Info("cluster membership changed", "epoch", epoch, "members", len(members))
+			}
+		}
+		n, err := cluster.NewNode(ncfg)
 		if err != nil {
 			s.queue.Close()
 			return nil, err
 		}
-		s.cluster = m
-		s.peerClients = make(map[string]*client.Client)
-		for _, p := range m.Peers() {
-			if p != m.Self() {
-				s.peerClients[p] = client.New(p)
+		s.node = n
+		s.mux.Handle("POST "+cluster.GossipPath, n.Handler())
+		if cfg.Replicas > 1 {
+			s.queue.OnStored(s.replicateRecord)
+			if s.ckpt != nil {
+				s.ckpt.OnSave(s.replicateBlob)
 			}
 		}
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("POST /v1/records/lookup", s.handleRecordLookup)
+	s.mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -177,6 +256,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	s.mux.HandleFunc("POST /v1/scenarios/{name}/run", s.handleScenarioRun)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/cluster/membership", s.handleMembership)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	// Built last: the registry's sampling funcs close over the queue, the
@@ -184,15 +264,61 @@ func New(cfg Config) (*Server, error) {
 	s.logger = cfg.Logger
 	s.metrics = newServerMetrics(s, cfg.Shards, cfg.MetricsCompat)
 	s.queue.Instrument(s.metrics.queueWait, s.metrics.runDuration, s.metrics.storeWrite)
+	if s.node != nil {
+		s.node.Start() // no-op in static mode
+	}
 	return s, nil
 }
 
 // Self returns the daemon's advertised cluster address ("" single-node).
 func (s *Server) Self() string {
-	if s.cluster == nil {
+	if s.node == nil {
 		return ""
 	}
-	return s.cluster.Self()
+	return s.node.Self()
+}
+
+// peerClient returns (lazily building) the typed client for a member.
+// Members come and go under dynamic membership, so the map grows on
+// demand; stale entries are harmless.
+func (s *Server) peerClient(addr string) *client.Client {
+	s.pcMu.RLock()
+	c := s.peerClients[addr]
+	s.pcMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.pcMu.Lock()
+	defer s.pcMu.Unlock()
+	if c := s.peerClients[addr]; c != nil {
+		return c
+	}
+	c = client.New(addr)
+	s.peerClients[addr] = c
+	return c
+}
+
+// otherMembers lists the current ACTIVE members excluding this daemon.
+func (s *Server) otherMembers() []string {
+	if s.node == nil {
+		return nil
+	}
+	members := s.node.Members()
+	out := make([]string, 0, len(members))
+	for _, m := range members {
+		if m != s.node.Self() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// failover counts one ranked-walk fallback, by cause.
+func (s *Server) failover(reason string, n int) {
+	atomic.AddUint64(&s.failovers, uint64(n))
+	if s.metrics != nil && s.metrics.failoverReasons != nil {
+		s.metrics.failoverReasons.With(reason).Add(uint64(n))
+	}
 }
 
 // Handler returns the HTTP handler: the API mux wrapped in the telemetry
@@ -206,8 +332,17 @@ func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 // Workers returns the resolved simulation worker-pool size.
 func (s *Server) Workers() int { return s.queue.Stats().Workers }
 
-// Close stops the worker pool (running simulations finish first).
-func (s *Server) Close() { s.queue.Close() }
+// Close leaves the cluster gracefully (peers drop this member without
+// waiting out suspicion timers) and stops the worker pool (running
+// simulations finish first).
+func (s *Server) Close() {
+	if s.node != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		s.node.Stop(ctx)
+		cancel()
+	}
+	s.queue.Close()
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -269,94 +404,149 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Cluster routing: forwarded requests are always executed here (at most
-	// one hop); otherwise each spec whose rendezvous owner is another member
-	// is sent there. Forwards happen before any local enqueue, so a failed
-	// forward can cleanly fall back to the local path below.
-	owners := make([]string, len(req.Specs)) // "" = execute locally
+	// one hop). Otherwise each fingerprintable spec takes the replicated
+	// read path — local store (owner copy or warm replica), then a record
+	// probe across the top-ranked members, then a handle-based forward walk
+	// down the ranking. Forwards happen before any local enqueue, so a
+	// spec whose every remote candidate fails cleanly falls back to the
+	// local path below.
+	clustered := s.node != nil && r.Header.Get(api.ForwardedHeader) == ""
 	fps := make([][32]byte, len(req.Specs))
 	haveFP := make([]bool, len(req.Specs))
-	if s.cluster != nil && r.Header.Get(api.ForwardedHeader) == "" {
+	if s.node != nil {
 		for i := range specs {
 			fp, err := simstore.Fingerprint(specs[i])
 			if err != nil {
 				continue // local; SubmitRun reports the error properly
 			}
 			fps[i], haveFP[i] = fp, true
-			if owner := s.cluster.Owner(fp); owner != s.cluster.Self() {
-				owners[i] = owner
-			}
 		}
 	}
 	wantWait := r.URL.Query().Get("wait") == "1"
 
 	results := make([]api.RunResult, len(req.Specs))
-	remote := map[string][]int{}
-	for i, o := range owners {
-		if o != "" {
-			remote[o] = append(remote[o], i)
+	handled := make([]bool, len(req.Specs))
+	type remoteHandle struct{ peer, id string }
+	remotes := make(map[int]remoteHandle)
+
+	if clustered {
+		members := s.node.Members()
+		// Local store first: the owner's copy or a warm replica answers
+		// without touching the network.
+		for i := range specs {
+			if !haveFP[i] {
+				continue
+			}
+			if rec, ok := s.store.Get(fps[i]); ok {
+				stats := rec.Stats
+				results[i] = api.RunResult{
+					Key: req.Specs[i].Key, Fingerprint: simstore.Hex(fps[i]),
+					Cached: true, Status: api.StatusDone, Stats: &stats, Peer: s.Self(),
+				}
+				handled[i] = true
+				if len(members) > 1 && cluster.Ranked(fps[i], members)[0] != s.node.Self() {
+					atomic.AddUint64(&s.replicaHits, 1)
+				}
+			}
 		}
-	}
-	// Owner groups are independent (disjoint spec indices), so forward them
-	// concurrently: a wait=1 batch spanning several owners costs the slowest
-	// owner's simulations, not the sum over owners.
-	var fwdWG sync.WaitGroup
-	for owner, idxs := range remote {
-		fwdWG.Add(1)
-		go func(owner string, idxs []int) {
-			defer fwdWG.Done()
-			sub := api.RunRequest{Specs: make([]api.Spec, len(idxs))}
-			for k, i := range idxs {
-				sub.Specs[k] = req.Specs[i]
+		// Probe the ranked members for records before forwarding anything
+		// to execute: after membership churn the current owner may not
+		// hold a record a demoted replica still has.
+		s.probeReplicas(r.Context(), req.Specs, specs, fps, haveFP, handled, results, members)
+
+		// Ranked forward walk: offer each unhandled spec to its ranked
+		// members in order, submitting without wait so a hop costs one
+		// round-trip, never a pinned connection. Reaching self (or
+		// exhausting the ranking) drops the spec to the local path.
+		next := make([]int, len(specs))
+		ranked := make([][]string, len(specs))
+		for i := range specs {
+			if haveFP[i] && !handled[i] {
+				ranked[i] = cluster.Ranked(fps[i], members)
 			}
-			fwdStart := time.Now()
-			resp, err := s.peerClients[owner].ForwardRuns(r.Context(), sub, wantWait)
-			if err != nil || len(resp.Results) != len(idxs) {
-				if r.Context().Err() != nil {
-					// The client hung up, not the owner: nobody is waiting
-					// for a local re-execution, so don't start one.
-					return
+		}
+		for {
+			groups := map[string][]int{}
+			for i := range specs {
+				if handled[i] || ranked[i] == nil || next[i] < 0 {
+					continue
 				}
-				// Owner unreachable (or answered garbage): execute locally.
-				atomic.AddUint64(&s.failovers, uint64(len(idxs)))
-				for _, i := range idxs {
-					owners[i] = ""
+				if next[i] >= len(ranked[i]) || ranked[i][next[i]] == s.node.Self() {
+					next[i] = -1 // local execution below
+					continue
 				}
-				return
+				cand := ranked[i][next[i]]
+				groups[cand] = append(groups[cand], i)
 			}
-			atomic.AddUint64(&s.forwarded, uint64(len(idxs)))
-			s.metrics.forward.With(owner).Observe(time.Since(fwdStart).Seconds())
-			for k, i := range idxs {
-				results[i] = resp.Results[k]
-				if results[i].Peer == "" {
-					results[i].Peer = owner
-				}
+			if len(groups) == 0 {
+				break
 			}
-		}(owner, idxs)
-	}
-	fwdWG.Wait()
-	if r.Context().Err() != nil {
-		return // disconnected mid-forward; the response has no reader
+			// Candidate groups are disjoint; forward them concurrently.
+			var fwdWG sync.WaitGroup
+			for cand, idxs := range groups {
+				fwdWG.Add(1)
+				go func(cand string, idxs []int) {
+					defer fwdWG.Done()
+					sub := api.RunRequest{Specs: make([]api.Spec, len(idxs))}
+					for k, i := range idxs {
+						sub.Specs[k] = req.Specs[i]
+					}
+					fwdStart := time.Now()
+					resp, err := s.peerClient(cand).ForwardRuns(r.Context(), sub, false)
+					if err != nil || len(resp.Results) != len(idxs) {
+						if r.Context().Err() != nil {
+							return // client hung up; the walk loop exits below
+						}
+						reason := failoverUnreachable
+						if err == nil || client.IsStatusError(err) {
+							reason = failoverBadAnswer
+						}
+						s.failover(reason, len(idxs))
+						for _, i := range idxs {
+							next[i]++
+						}
+						return
+					}
+					atomic.AddUint64(&s.forwarded, uint64(len(idxs)))
+					s.metrics.forward.With(cand).Observe(time.Since(fwdStart).Seconds())
+					for k, i := range idxs {
+						results[i] = resp.Results[k]
+						if results[i].Peer == "" {
+							results[i].Peer = cand
+						}
+						handled[i] = true
+						if !api.IsTerminal(results[i].Status) && results[i].JobID != "" {
+							remotes[i] = remoteHandle{cand, results[i].JobID}
+						}
+					}
+				}(cand, idxs)
+			}
+			fwdWG.Wait()
+			if r.Context().Err() != nil {
+				return // disconnected mid-forward; the response has no reader
+			}
+		}
 	}
 
 	jobs := make([]*Job, len(req.Specs))
 	// Jobs this request created (not dedup-shared ones owned by earlier
 	// submitters): cancelled if a later spec fails to enqueue, so an error
 	// response never leaves orphaned simulations behind — including jobs
-	// the forwarding pass already created on remote owners.
+	// the forwarding pass already created on remote members.
 	var ownJobs []*Job
 	cancelOwn := func() {
 		for _, j := range ownJobs {
 			s.queue.Cancel(j.ID)
 		}
-		for i, o := range owners {
-			if o != "" && results[i].JobID != "" && !results[i].Cached {
-				s.peerClients[o].ForwardCancel(r.Context(), results[i].JobID)
+		for i, h := range remotes {
+			if !results[i].Cached && h.id != "" {
+				s.peerClient(h.peer).ForwardCancel(r.Context(), h.id)
 			}
 		}
 	}
 	for i, wireSpec := range req.Specs {
-		if owners[i] != "" {
-			continue // answered by its owner daemon above
+		if handled[i] {
+			continue // answered by the local store or a ranked member above
 		}
 		res := api.RunResult{Key: wireSpec.Key, Peer: s.Self()}
 		var sub Submitted
@@ -389,6 +579,48 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if wantWait {
+		// Local jobs block on the queue; remote handles are polled
+		// concurrently (each poll is one bounded round-trip, so a slow
+		// simulation never pins a connection to its owner).
+		var remWG sync.WaitGroup
+		for i, h := range remotes {
+			remWG.Add(1)
+			go func(i int, h remoteHandle) {
+				defer remWG.Done()
+				st, err := s.waitRemoteJob(r.Context(), h.peer, h.id)
+				if err != nil {
+					if r.Context().Err() != nil {
+						return // nobody is reading the response
+					}
+					// The member vanished mid-run: re-execute locally —
+					// determinism makes the duplicate byte-identical.
+					s.failover(failoverUnreachable, 1)
+					sub, serr := s.queue.SubmitRunFP(req.Specs[i].Key, specs[i], fps[i])
+					if serr != nil {
+						results[i].Status = api.StatusFailed
+						results[i].Error = serr.Error()
+						return
+					}
+					results[i].Peer = s.Self()
+					if sub.Cached {
+						results[i].Status = api.StatusDone
+						stats := sub.Stats
+						results[i].Stats = &stats
+						results[i].Cached = true
+						return
+					}
+					results[i].JobID = sub.Job.ID
+					lst := s.queue.Wait(r.Context(), sub.Job)
+					results[i].Status = lst.Status
+					results[i].Stats = lst.Stats
+					results[i].Error = lst.Error
+					return
+				}
+				results[i].Status = st.Status
+				results[i].Stats = st.Stats
+				results[i].Error = st.Error
+			}(i, h)
+		}
 		for i, j := range jobs {
 			if j == nil {
 				continue
@@ -398,56 +630,131 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			results[i].Stats = st.Stats
 			results[i].Error = st.Error
 		}
+		remWG.Wait()
+		if r.Context().Err() != nil {
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, api.RunResponse{Results: results})
 }
 
-// routeRun is the RouteFunc wired into figure jobs: it forwards each of a
-// figure's runs to its rendezvous owner so figure generation places (and
-// caches) every run on the hash-designated daemon. handled=false falls
-// through to local execution — this daemon owns the spec, there is no
-// cluster, fingerprinting failed, or the owner is unreachable (failover).
+// waitRemoteJob polls a forwarded job handle on its member until it turns
+// terminal. Each poll is an independent, timeout-bounded round-trip.
+func (s *Server) waitRemoteJob(ctx context.Context, peer, id string) (*api.JobStatus, error) {
+	cl := s.peerClient(peer)
+	t := time.NewTicker(s.remotePoll)
+	defer t.Stop()
+	for {
+		pctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		st, err := cl.ForwardJob(pctx, id)
+		cancel()
+		atomic.AddUint64(&s.remotePolls, 1)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		if api.IsTerminal(st.Status) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// routeRun is the RouteFunc wired into figure jobs: it places each of a
+// figure's runs on its rendezvous-ranked member so figure generation
+// caches every run on the hash-designated daemon. The read path mirrors
+// handleRuns — local store (owner copy or replica), ranked record probe,
+// then a handle-based forward walk. handled=false falls through to local
+// execution — this daemon owns the spec, there is no cluster,
+// fingerprinting failed, or every remote candidate failed over.
 func (s *Server) routeRun(ctx context.Context, key string, spec sweep.RunSpec) (gpu.RunStats, bool, bool, error) {
-	if s.cluster == nil {
+	if s.node == nil {
 		return gpu.RunStats{}, false, false, nil
 	}
 	fp, err := simstore.Fingerprint(spec)
 	if err != nil {
 		return gpu.RunStats{}, false, false, nil
 	}
-	owner := s.cluster.Owner(fp)
-	if owner == s.cluster.Self() {
-		return gpu.RunStats{}, false, false, nil
+	members := s.node.Members()
+	self := s.node.Self()
+	if rec, ok := s.store.Get(fp); ok {
+		if len(members) > 1 && cluster.Ranked(fp, members)[0] != self {
+			atomic.AddUint64(&s.replicaHits, 1)
+		}
+		return rec.Stats, true, true, nil
+	}
+	ranked := cluster.Ranked(fp, members)
+	if rec, pos, ok := s.lookupReplica(ctx, fp, ranked); ok {
+		if pos > 0 {
+			atomic.AddUint64(&s.replicaHits, 1)
+			go s.readRepair(fp, rec, ranked[pos])
+		}
+		return rec.stats, true, true, nil
 	}
 	wire := api.FromRunSpec(spec)
 	wire.Key = key
-	fwdStart := time.Now()
-	resp, err := s.peerClients[owner].ForwardRuns(ctx, api.RunRequest{Specs: []api.Spec{wire}}, true)
-	if err != nil || len(resp.Results) != 1 {
-		atomic.AddUint64(&s.failovers, 1)
-		return gpu.RunStats{}, false, false, nil
-	}
-	atomic.AddUint64(&s.forwarded, 1)
-	s.metrics.forward.With(owner).Observe(time.Since(fwdStart).Seconds())
-	r := resp.Results[0]
-	switch {
-	case r.Status == api.StatusDone && r.Stats != nil:
-		return *r.Stats, r.Cached, true, nil
-	case r.Status == api.StatusFailed:
-		// The owner ran the spec and it genuinely failed (deterministic —
-		// re-executing here would fail identically); report, don't retry.
-		msg := r.Error
-		if msg == "" {
-			msg = fmt.Sprintf("owner %s answered status failed", owner)
+	for _, cand := range ranked {
+		if cand == self {
+			return gpu.RunStats{}, false, false, nil // execute locally
 		}
-		return gpu.RunStats{}, false, true, fmt.Errorf("%s", msg)
-	default:
-		// Cancelled (someone cancelled the owner's shared job) or any other
-		// non-answer: not a property of the spec, so fall back to executing
-		// locally rather than failing the figure.
-		atomic.AddUint64(&s.failovers, 1)
-		return gpu.RunStats{}, false, false, nil
+		fwdStart := time.Now()
+		resp, err := s.peerClient(cand).ForwardRuns(ctx, api.RunRequest{Specs: []api.Spec{wire}}, false)
+		if err != nil || len(resp.Results) != 1 {
+			if ctx.Err() != nil {
+				return gpu.RunStats{}, false, true, ctx.Err()
+			}
+			reason := failoverUnreachable
+			if err == nil || client.IsStatusError(err) {
+				reason = failoverBadAnswer
+			}
+			s.failover(reason, 1)
+			continue
+		}
+		atomic.AddUint64(&s.forwarded, 1)
+		s.metrics.forward.With(cand).Observe(time.Since(fwdStart).Seconds())
+		r := resp.Results[0]
+		if !api.IsTerminal(r.Status) && r.JobID != "" {
+			st, werr := s.waitRemoteJob(ctx, cand, r.JobID)
+			if werr != nil {
+				if ctx.Err() != nil {
+					return gpu.RunStats{}, false, true, ctx.Err()
+				}
+				// The member vanished mid-run; walk on (or fall back to
+				// local execution at self's rank).
+				s.failover(failoverUnreachable, 1)
+				continue
+			}
+			r.Status = st.Status
+			r.Stats = st.Stats
+			r.Error = st.Error
+		}
+		switch {
+		case r.Status == api.StatusDone && r.Stats != nil:
+			return *r.Stats, r.Cached, true, nil
+		case r.Status == api.StatusFailed:
+			// The member ran the spec and it genuinely failed
+			// (deterministic — re-executing here would fail identically);
+			// report, don't retry.
+			msg := r.Error
+			if msg == "" {
+				msg = fmt.Sprintf("member %s answered status failed", cand)
+			}
+			return gpu.RunStats{}, false, true, fmt.Errorf("%s", msg)
+		default:
+			// Cancelled (someone cancelled the member's shared job) or any
+			// other non-answer: not a property of the spec, so fall back
+			// rather than failing the figure.
+			s.failover(failoverCancelled, 1)
+			return gpu.RunStats{}, false, false, nil
+		}
 	}
+	return gpu.RunStats{}, false, false, nil
 }
 
 // findRemoteJob asks every other member for a job unknown locally (each
@@ -456,16 +763,17 @@ func (s *Server) routeRun(ctx context.Context, key string, spec sweep.RunSpec) (
 // that live on the owner daemon; proxying keeps every daemon a valid entry
 // point for polling them.
 func (s *Server) findRemoteJob(ctx context.Context, id string) (*api.JobStatus, string, bool) {
-	if s.cluster == nil {
+	if s.node == nil {
 		return nil, "", false
 	}
+	others := s.otherMembers()
 	type hit struct {
 		st   *api.JobStatus
 		peer string
 	}
-	hits := make(chan hit, len(s.peerClients))
+	hits := make(chan hit, len(others))
 	var wg sync.WaitGroup
-	for peer, cl := range s.peerClients {
+	for _, peer := range others {
 		wg.Add(1)
 		go func(peer string, cl *client.Client) {
 			defer wg.Done()
@@ -474,7 +782,7 @@ func (s *Server) findRemoteJob(ctx context.Context, id string) (*api.JobStatus, 
 			if st, err := cl.ForwardJob(pctx, id); err == nil {
 				hits <- hit{st, peer}
 			}
-		}(peer, cl)
+		}(peer, s.peerClient(peer))
 	}
 	// Answer on the first hit: at most one member holds any job ID, so a
 	// slow or dead peer must not delay a lookup the owner already answered.
@@ -519,7 +827,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.Header.Get(api.ForwardedHeader) == "" {
 		if _, peer, ok := s.findRemoteJob(r.Context(), id); ok {
-			if st, err := s.peerClients[peer].ForwardCancel(r.Context(), id); err == nil {
+			if st, err := s.peerClient(peer).ForwardCancel(r.Context(), id); err == nil {
 				st.Peer = peer
 				writeJSON(w, http.StatusOK, st)
 				return
@@ -730,11 +1038,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCluster implements GET /v1/cluster: the membership view with a live
-// health probe (2-second bound) and store/queue stats per member. A single-
-// node daemon reports itself as the only member.
+// health probe (2-second bound) and store/queue stats per member, plus —
+// under gossip membership — each member's liveness status and the local
+// membership epoch (clients re-rank peers when it moves). A single-node
+// daemon reports itself as the only member.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	st := api.ClusterStatus{Self: s.Self()}
-	if s.cluster == nil {
+	if s.node == nil {
 		h := s.healthSnapshot()
 		// selfAddr is known whenever cmd/simd started us (it always derives
 		// an advertised URL); library embedders without one report "".
@@ -742,13 +1052,17 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
+	st.Epoch = s.node.Epoch()
+	entries := s.node.MemberEntries()
+	st.Peers = make([]api.ClusterPeer, len(entries))
 	// Probe peers concurrently: a dead member costs its 2-second timeout
 	// once, not once per dead member.
-	peers := s.cluster.Peers()
-	st.Peers = make([]api.ClusterPeer, len(peers))
 	var wg sync.WaitGroup
-	for i, peer := range peers {
-		entry := api.ClusterPeer{URL: peer, Self: peer == s.cluster.Self()}
+	for i, m := range entries {
+		entry := api.ClusterPeer{URL: m.Addr, Self: m.Addr == s.node.Self()}
+		if !s.node.Static() {
+			entry.Status = string(m.Status)
+		}
 		if entry.Self {
 			h := s.healthSnapshot()
 			entry.Healthy, entry.Health = true, &h
@@ -760,7 +1074,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
 			defer cancel()
-			h, err := s.peerClients[entry.URL].Health(ctx)
+			h, err := s.peerClient(entry.URL).Health(ctx)
 			if err != nil {
 				entry.Error = err.Error()
 			} else {
@@ -771,6 +1085,30 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMembership implements GET /v1/cluster/membership: the raw gossip
+// view with no health probes — cheap enough for client pools to poll on a
+// short TTL and re-rank when the epoch moves. Unlike /v1/cluster it costs
+// no cross-member round-trips.
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	view := api.MembershipView{}
+	if s.node == nil {
+		if s.selfAddr != "" {
+			view.Members = []api.MemberEntry{{Addr: s.selfAddr, Self: true}}
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	view.Epoch = s.node.Epoch()
+	for _, m := range s.node.MemberEntries() {
+		entry := api.MemberEntry{Addr: m.Addr, Self: m.Addr == s.node.Self()}
+		if !s.node.Static() {
+			entry.Status = string(m.Status)
+		}
+		view.Members = append(view.Members, entry)
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // handleMetrics implements GET /metrics: the full registry rendered as
